@@ -1,0 +1,109 @@
+// Temperature ablation: the paper evaluates at nominal conditions only,
+// but a production DFT scheme must hold over the operating range. Sweeps
+// -40 C .. 125 C and reports: CML logic levels/swing, the variant-2
+// detector's behaviour on a fault-free gate (false-alarm margin) and on a
+// 4 kOhm pipe (detection), all at the fixed vtest = 3.7 V the paper picks
+// for nominal temperature.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_bench.h"
+#include "core/detector.h"
+#include "devices/sources.h"
+#include "sim/dc.h"
+#include "util/table.h"
+
+using namespace cmldft;
+
+namespace {
+// Run one detector point at a given temperature (all analyses re-biased).
+struct TempPoint {
+  double swing = 0.0;
+  bool clean_fired = false;
+  bool faulty_fired = false;
+  double faulty_vmin = 0.0;
+};
+
+TempPoint RunAtTemperature(double temp_k) {
+  TempPoint out;
+  for (int faulty = 0; faulty <= 1; ++faulty) {
+    netlist::Netlist nl;
+    cml::CmlTechnology tech;
+    cml::CellBuilder cells(nl, tech);
+    const cml::DiffPort in = cells.AddDifferentialClock("va", 100e6);
+    const cml::DiffPort o0 = cells.AddBuffer("x0", in);
+    const cml::DiffPort dut = cells.AddBuffer("dut", o0);
+    cells.AddBuffer("x1", dut);
+    core::DetectorOptions dopt;
+    dopt.load_cap = 1e-12;
+    core::DetectorBuilder det(cells, dopt);
+    const std::string vout = det.AttachVariant2("det", dut);
+
+    // The paper's Figure 1 bias comes from an "environment independent
+    // voltage generator": model it by retuning vbias so the tail current
+    // holds at this temperature.
+    auto* vbias = static_cast<devices::VSource*>(nl.FindDevice("Vbias"));
+    vbias->set_waveform(devices::Waveform::Dc(tech.bias_voltage(temp_k)));
+
+    netlist::Netlist target = nl;
+    if (faulty) {
+      auto f = defects::WithDefect(nl, bench::DutPipe(4e3));
+      if (!f.ok()) std::exit(1);
+      target = std::move(f).value();
+    }
+    (void)core::SetTestMode(target, true, 3.7, tech.vgnd);
+    sim::TransientOptions opts;
+    opts.tstop = 120e-9;
+    opts.dc.temperature_k = temp_k;
+    auto r = sim::RunTransient(target, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "T=%.0fK %s: %s\n", temp_k,
+                   faulty ? "faulty" : "clean", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto v = r.value().Voltage(vout);
+    const bool fired = v.Min() < tech.vgnd - 0.1;
+    if (faulty) {
+      out.faulty_fired = fired;
+      out.faulty_vmin = v.Min();
+    } else {
+      out.clean_fired = fired;
+      auto sw = waveform::MeasureSwing(r.value().Voltage(dut.p_name), 60e-9, 120e-9);
+      out.swing = sw.swing;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "ablation_temperature",
+      "temperature robustness of the variant-2 detector (extension)",
+      "vtest fixed at the paper's nominal-temperature choice of 3.7 V");
+
+  util::Table table({"T (C)", "gate swing (mV)", "fault-free verdict",
+                     "4k-pipe verdict", "faulty vout min (V)"});
+  const std::vector<double> temps_c = {-40, 0, 27, 85, 125};
+  int clean_ok = 0, detect_ok = 0;
+  for (double tc : temps_c) {
+    const TempPoint p = RunAtTemperature(tc + 273.15);
+    table.NewRow()
+        .AddF("%.0f", tc)
+        .AddF("%.0f", p.swing * 1e3)
+        .Add(p.clean_fired ? "FALSE ALARM" : "pass")
+        .Add(p.faulty_fired ? "DETECTED" : "missed")
+        .AddF("%.3f", p.faulty_vmin);
+    if (!p.clean_fired) ++clean_ok;
+    if (p.faulty_fired) ++detect_ok;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "VBE falls ~2 mV/K, so a fixed vtest gains sensitivity when hot (risk:\n"
+      "false alarms) and loses it when cold (risk: escapes). Over -40..125 C\n"
+      "with vtest pinned at 3.7 V: %d/%zu clean passes, %d/%zu detections.\n"
+      "The paper's 'variable supply voltage' phrasing for vtest anticipates\n"
+      "exactly this: vtest should track temperature (~VBE(T) + margin).\n",
+      clean_ok, temps_c.size(), detect_ok, temps_c.size());
+  return 0;
+}

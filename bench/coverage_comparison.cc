@@ -1,0 +1,110 @@
+// The paper's central coverage claim, quantified: enumerate the full
+// defect universe (pipes, shorts, opens, resistor defects, bridges) of an
+// instrumented buffer chain; classify every defect by what catches it —
+// conventional logic/stuck-at testing at the primary output, delay
+// testing, or ONLY the built-in amplitude detectors. "Classical stuck-at
+// faults are far from providing sufficient defect coverage."
+#include <cstdio>
+#include <cmath>
+#include <map>
+
+#include "bench/paper_bench.h"
+#include "core/diagnosis.h"
+#include "core/screening.h"
+#include "util/table.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader(
+      "coverage_comparison",
+      "§1/§5/§6 (defect coverage: conventional testing vs + amplitude detectors)",
+      "full defect universe on a 3-buffer chain with variant-2 detectors "
+      "(test mode)");
+
+  core::ScreeningOptions opt;
+  opt.chain_length = 3;
+  opt.sim_time = 50e-9;
+  opt.detector.load_cap = 1e-12;
+  opt.enumeration.pipe_values = {1e3, 2e3, 4e3, 8e3};
+  auto report = core::ScreenBufferChain(opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  // Iddq realism: CML draws large static bias current by design ("current
+  // steering ... irrespective of circuit activity"), so a defect's extra
+  // milliamp is resolvable against a 3-gate block but vanishes on a full
+  // chip. Re-threshold the Iddq verdicts as if the block sat in a
+  // 10,000-gate die with the same 25% measurement resolution.
+  constexpr double kChipGates = 10000.0;
+  const double chain_gates = 3.0;
+  core::ScreeningReport chip = *report;
+  for (auto& o : chip.outcomes) {
+    const double delta =
+        std::abs(o.supply_current - report->reference_supply_current);
+    const double chip_quiescent =
+        report->reference_supply_current * (kChipGates / chain_gates);
+    o.iddq_fail = delta > opt.iddq_fraction * chip_quiescent;
+  }
+
+  std::printf("reference: primary swing %.3f V, delay %.0f ps, detector vout "
+              "floor %.3f V\n\n",
+              report->nominal_swing, report->reference_delay * 1e12,
+              report->reference_detector_vout);
+
+  // Per-defect detail (one line each).
+  util::Table table({"defect", "class", "gate amplitude (V)", "det vout (V)"});
+  for (const auto& o : report->outcomes) {
+    table.NewRow()
+        .Add(o.defect.Id())
+        .Add(std::string(core::FaultClassName(o.Classify())))
+        .AddF("%.2f", o.max_gate_amplitude)
+        .AddF("%.2f", o.min_detector_vout);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Summary (chip-scale Iddq: the paper's context).
+  std::map<core::FaultClass, int> counts;
+  for (const auto& o : chip.outcomes) counts[o.Classify()]++;
+  std::printf("defects total           : %d\n", report->total());
+  std::printf("  logic-visible         : %d\n",
+              counts[core::FaultClass::kLogicVisible]);
+  std::printf("  delay-visible         : %d\n",
+              counts[core::FaultClass::kDelayVisible]);
+  std::printf("  iddq-visible          : %d\n",
+              counts[core::FaultClass::kIddqVisible]);
+  std::printf("  catastrophic          : %d (no bias point / non-convergent)\n",
+              counts[core::FaultClass::kCatastrophic]);
+  std::printf("  AMPLITUDE-ONLY        : %d  <- invisible to conventional tests\n",
+              counts[core::FaultClass::kAmplitudeOnly]);
+  std::printf("  no-effect             : %d\n",
+              counts[core::FaultClass::kNoEffect]);
+  std::printf("\nblock-scale Iddq (3 gates, 25%% resolution):\n");
+  std::printf("  coverage, conventional (stuck-at+delay+Iddq+gross): %.1f%%\n",
+              report->ConventionalCoverage() * 100);
+  std::printf("  coverage, + built-in amplitude detectors          : %.1f%%\n",
+              report->CombinedCoverage() * 100);
+  std::printf("chip-scale Iddq (defect current diluted by 10,000 gates):\n");
+  std::printf("  conventional coverage                             : %.1f%%\n",
+              chip.ConventionalCoverage() * 100);
+  std::printf("  + built-in amplitude detectors                    : %.1f%%  "
+              "(+%.1f points)\n",
+              chip.CombinedCoverage() * 100,
+              (chip.CombinedCoverage() - chip.ConventionalCoverage()) * 100);
+  std::printf("  amplitude-only escapes recovered by the detectors : %d\n",
+              chip.CountClass(core::FaultClass::kAmplitudeOnly));
+
+  // Localization bonus: per-gate detectors don't just flag the die, they
+  // name the faulty gate.
+  const core::LocalizationSummary loc = core::EvaluateLocalization(*report);
+  std::printf("\nfault localization (detector site vs defect site): %d/%d "
+              "correct (%.0f%%)\n",
+              loc.correct, loc.localizable, loc.Accuracy() * 100);
+  std::printf(
+      "\npaper: simulations show abnormal gate output excursions caused by a\n"
+      "defect are common with CML, and these detectors cover classes of\n"
+      "faults that cannot be tested by stuck-at methods only.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Figure 4: a 4 kOhm C-E pipe on the current source of the
+// third buffer (DUT) of an 8-buffer chain nearly doubles the DUT's output
+// swing — and the degraded signal *heals* after a few downstream stages
+// (op6 faulty is indistinguishable from op6 fault-free).
+#include <cstdio>
+
+#include "bench/paper_bench.h"
+#include "util/table.h"
+#include "waveform/measure.h"
+#include "waveform/plot.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader(
+      "fig04_healing", "Figure 4 (fault healing along the chain)",
+      "4 kOhm pipe on DUT.q3, 100 MHz; outputs of DUT and X66, fault-free vs "
+      "faulty");
+
+  auto chain = bench::MakePaperChain(100e6);
+  auto faulty = bench::WithDutPipe(chain, 4e3);
+
+  sim::TransientOptions opts;
+  opts.tstop = 25e-9;
+  auto good = bench::MustRunTransient(chain.nl, opts);
+  auto bad = bench::MustRunTransient(faulty, opts);
+
+  const auto& dut = chain.outs[2];   // DUT output (paper: op / opb)
+  const auto& x66 = chain.outs[6];   // op6 / opb6
+
+  // The paper's Fig. 4 window shows one transition (4.9-5.7 ns); plot two
+  // full periods for shape plus the measurement table.
+  auto window = [&](const sim::TransientResult& r, const std::string& node,
+                    const char* label) {
+    auto t = r.Voltage(node).Window(4.5e-9, 6.5e-9);
+    t.name = label;
+    return t;
+  };
+  std::printf("DUT output (op), fault-free vs 4 kOhm pipe:\n%s\n",
+              waveform::AsciiPlot({window(good, dut.p_name, "op_ff"),
+                                   window(bad, dut.p_name, "op_pipe")})
+                  .c_str());
+  std::printf("Sixth output (op6), fault-free vs 4 kOhm pipe:\n%s\n",
+              waveform::AsciiPlot({window(good, x66.p_name, "op6_ff"),
+                                   window(bad, x66.p_name, "op6_pipe")})
+                  .c_str());
+
+  util::Table table({"stage", "Vhigh ff", "Vlow ff", "swing ff", "Vhigh pipe",
+                     "Vlow pipe", "swing pipe", "swing ratio"});
+  for (size_t s = 0; s < chain.outs.size(); ++s) {
+    const auto g =
+        waveform::MeasureSwing(good.Voltage(chain.outs[s].p_name), 10e-9, 25e-9);
+    const auto b =
+        waveform::MeasureSwing(bad.Voltage(chain.outs[s].p_name), 10e-9, 25e-9);
+    table.NewRow()
+        .Add(bench::kChainNames[s] + " (" + bench::kOutputLabels[s] + ")")
+        .AddF("%.3f", g.vhigh)
+        .AddF("%.3f", g.vlow)
+        .AddF("%.3f", g.swing)
+        .AddF("%.3f", b.vhigh)
+        .AddF("%.3f", b.vlow)
+        .AddF("%.3f", b.swing)
+        .AddF("%.2f", b.swing / g.swing);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const auto g_dut =
+      waveform::MeasureSwing(bad.Voltage(dut.p_name), 10e-9, 25e-9);
+  const auto g_x66 =
+      waveform::MeasureSwing(bad.Voltage(x66.p_name), 10e-9, 25e-9);
+  const auto ff_dut =
+      waveform::MeasureSwing(good.Voltage(dut.p_name), 10e-9, 25e-9);
+  std::printf(
+      "paper: \"at the output of the faulty gate, the voltage swing has\n"
+      "nearly doubled ... after 4 logic gates the degraded signal ... can be\n"
+      "completely restored\".\n"
+      "measured: DUT swing %.0f mV (%.2fx nominal %.0f mV); X66 swing ratio "
+      "%.3f (healed).\n",
+      g_dut.swing * 1e3, g_dut.swing / ff_dut.swing, ff_dut.swing * 1e3,
+      g_x66.swing / ff_dut.swing);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 5: Vlow and Vhigh of the faulty gate output as a
+// function of pipe resistance (1/3/5 kOhm) and stimulation frequency
+// (up to 2 GHz). Expected shape: Vlow sinks far below the fault-free low
+// level, less so for larger pipe values, and the excessive excursion
+// shrinks as frequency rises (the parametric disturbance becomes almost
+// undetectable at large pipe values / high frequency).
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_bench.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "waveform/measure.h"
+#include "waveform/plot.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader("fig05_swing",
+                     "Figure 5 (Vlow and Vhigh vs pipe value and frequency)",
+                     "buffer with C-E pipe on its current source; swing "
+                     "measured over the settled tail of each run");
+
+  const std::vector<double> pipes = {1e3, 3e3, 5e3};
+  const std::vector<double> freqs_mhz = {50,   100,  200,  400, 700,
+                                         1000, 1400, 2000, 2600, 3200};
+
+  util::Table table({"pipe", "freq (MHz)", "Vhigh (V)", "Vlow (V)", "swing (V)"});
+  std::vector<waveform::Series> vlow_series;
+  std::vector<waveform::Series> vhigh_series;
+
+  // Fault-free reference at 100 MHz.
+  {
+    auto chain = bench::MakePaperChain(100e6);
+    sim::TransientOptions opts;
+    opts.tstop = 40e-9;
+    auto r = bench::MustRunTransient(chain.nl, opts);
+    const auto s =
+        waveform::MeasureSwing(r.Voltage(chain.outs[2].p_name), 20e-9, 40e-9);
+    table.NewRow().Add("none").Add("100").AddF("%.3f", s.vhigh).AddF("%.3f", s.vlow).AddF("%.3f", s.swing);
+    std::printf("fault-free reference: Vhigh=%.3f V, Vlow=%.3f V\n\n", s.vhigh,
+                s.vlow);
+  }
+
+  for (double pipe : pipes) {
+    waveform::Series lo, hi;
+    lo.name = util::StrPrintf("Vlow %.0fk", pipe / 1e3);
+    hi.name = util::StrPrintf("Vhigh %.0fk", pipe / 1e3);
+    for (double fmhz : freqs_mhz) {
+      const double f = fmhz * 1e6;
+      auto chain = bench::MakePaperChain(f);
+      auto faulty = bench::WithDutPipe(chain, pipe);
+      sim::TransientOptions opts;
+      // At least 8 periods, and enough real time to settle.
+      opts.tstop = std::max(8.0 / f, 10e-9);
+      opts.dt_initial = std::min(1e-12, 0.002 / f);
+      auto r = bench::MustRunTransient(faulty, opts);
+      const auto s = waveform::MeasureSwing(r.Voltage(chain.outs[2].p_name),
+                                            opts.tstop * 0.5, opts.tstop);
+      table.NewRow()
+          .Add(util::StrPrintf("%.0fk", pipe / 1e3))
+          .AddF("%.0f", fmhz)
+          .AddF("%.3f", s.vhigh)
+          .AddF("%.3f", s.vlow)
+          .AddF("%.3f", s.swing);
+      lo.x.push_back(fmhz);
+      lo.y.push_back(s.vlow);
+      hi.x.push_back(fmhz);
+      hi.y.push_back(s.vhigh);
+    }
+    vlow_series.push_back(std::move(lo));
+    vhigh_series.push_back(std::move(hi));
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Vlow vs frequency (per pipe value):\n%s\n",
+              waveform::AsciiPlotSeries(vlow_series).c_str());
+  std::printf("Vhigh vs frequency (per pipe value):\n%s\n",
+              waveform::AsciiPlotSeries(vhigh_series).c_str());
+  std::printf(
+      "paper: levels approach their defect-free values as the pipe value\n"
+      "grows, and the excessive low excursion decreases with increasing\n"
+      "frequency — both visible above.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Figure 8: variant-1 detector — time-to-stability and Vmax as
+// a function of input frequency, pipe value, and load capacitor (10 pF vs
+// 1 pF), plus the diode-load vs resistor-load ablation from §6.1.
+// Expected shapes: tstability grows with frequency (the excessive
+// excursion shrinks, so the detector transistor conducts less) and with
+// the load capacitance; Vmax rises with pipe value (weaker fault).
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_bench.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "waveform/plot.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader(
+      "fig08_v1_tstability",
+      "Figure 8 (variant 1: tstability & Vmax vs frequency, pipe, load)",
+      "diode-capacitor load; 'fired' = vout dropped > 0.1 V within the "
+      "window");
+
+  struct Grid {
+    double cap;
+    double window;
+    std::vector<double> freqs;
+  };
+  const std::vector<Grid> grids = {
+      {10e-12, 2.0e-6, {100e6, 500e6}},
+      {1e-12, 0.3e-6, {100e6, 500e6, 1500e6}},
+  };
+  const std::vector<double> pipes = {1e3, 1.5e3, 2e3, 3e3};
+
+  util::Table table({"load", "pipe", "freq (MHz)", "amplitude (V)", "fired",
+                     "tstability (ns)", "Vmax (V)"});
+  std::vector<waveform::Series> tstab_series;
+  double min_fired_amplitude = 1e9, max_missed_amplitude = 0.0;
+  for (const Grid& grid : grids) {
+    core::DetectorOptions dopt;
+    dopt.load_cap = grid.cap;
+    for (double pipe : pipes) {
+      waveform::Series serie;
+      serie.name = util::StrPrintf("%s %.1fk", grid.cap > 5e-12 ? "10pF" : "1pF",
+                                   pipe / 1e3);
+      for (double f : grid.freqs) {
+        const auto pt = bench::RunDetectorPoint(1, f, pipe, grid.window, dopt);
+        table.NewRow()
+            .Add(util::FormatEngineering(grid.cap, "F"))
+            .Add(util::FormatEngineering(pipe))
+            .AddF("%.0f", f / 1e6)
+            .AddF("%.2f", pt.amplitude)
+            .Add(pt.fired ? "yes" : "no")
+            .Add(pt.fired
+                     ? util::StrPrintf("%.0f", pt.response.t_stability * 1e9)
+                     : ">window")
+            .AddF("%.3f", pt.response.vmax);
+        if (pt.fired) {
+          serie.x.push_back(f / 1e6);
+          serie.y.push_back(pt.response.t_stability * 1e9);
+          min_fired_amplitude = std::min(min_fired_amplitude, pt.amplitude);
+        } else {
+          max_missed_amplitude = std::max(max_missed_amplitude, pt.amplitude);
+        }
+      }
+      if (!serie.x.empty()) tstab_series.push_back(std::move(serie));
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!tstab_series.empty()) {
+    std::printf("tstability (ns) vs frequency (MHz):\n%s\n",
+                waveform::AsciiPlotSeries(tstab_series).c_str());
+  }
+
+  // §6.1 ablation: diode vs 160 kOhm resistor load (1 kOhm pipe, 100 MHz).
+  std::printf("load ablation (1 kOhm pipe, 100 MHz, 10 pF):\n");
+  for (bool resistor : {false, true}) {
+    core::DetectorOptions dopt;
+    dopt.load_kind = resistor ? core::DetectorOptions::LoadKind::kResistor
+                              : core::DetectorOptions::LoadKind::kDiode;
+    const auto pt = bench::RunDetectorPoint(1, 100e6, 1e3, 2.0e-6, dopt);
+    std::printf("  %-8s load: tstability = %7.0f ns, Vmax = %.3f V\n",
+                resistor ? "resistor" : "diode", pt.response.t_stability * 1e9,
+                pt.response.vmax);
+  }
+  std::printf(
+      "\npaper: tstability increases significantly with frequency; it can be\n"
+      "much longer with a resistor-capacitor load than with a diode-\n"
+      "capacitor load; variant 1 only resolves amplitudes greater than\n"
+      "~0.57 V. measured: smallest detected amplitude %.2f V, largest\n"
+      "missed %.2f V -> variant-1 threshold in (%.2f, %.2f) V.\n",
+      min_fired_amplitude, max_missed_amplitude, max_missed_amplitude,
+      min_fired_amplitude);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Figure 10: variant-2 detector (controlled bias, vtest = 3.7 V
+// in test mode) — tstability & Vmax over frequency, pipe value and load
+// capacitor. Expected: the detectable amplitude extends down to ~0.35 V
+// (weak pipes that variant 1 misses) and tstability is much shorter than
+// variant 1's. Includes the vtest ablation (threshold vs vtest).
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_bench.h"
+#include "core/response_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "waveform/plot.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader(
+      "fig10_v2_tstability",
+      "Figure 10 (variant 2: tstability & Vmax; detectable amplitude ~0.35 V)",
+      "two detector transistors biased from vtest = 3.7 V in test mode");
+
+  struct Grid {
+    double cap;
+    double window;
+    std::vector<double> freqs;
+  };
+  const std::vector<Grid> grids = {
+      {10e-12, 1.0e-6, {100e6, 500e6}},
+      {1e-12, 0.25e-6, {100e6, 500e6, 1500e6}},
+  };
+  const std::vector<double> pipes = {1e3, 2e3, 3e3, 4e3, 5e3};
+
+  util::Table table({"load", "pipe", "freq (MHz)", "amplitude (V)", "fired",
+                     "tstability (ns)", "Vmax (V)"});
+  std::vector<waveform::Series> vmax_series;
+  for (const Grid& grid : grids) {
+    core::DetectorOptions dopt;
+    dopt.load_cap = grid.cap;
+    for (double pipe : pipes) {
+      waveform::Series serie;
+      serie.name = util::StrPrintf("%s %.0fk", grid.cap > 5e-12 ? "10pF" : "1pF",
+                                   pipe / 1e3);
+      for (double f : grid.freqs) {
+        const auto pt = bench::RunDetectorPoint(2, f, pipe, grid.window, dopt);
+        table.NewRow()
+            .Add(util::FormatEngineering(grid.cap, "F"))
+            .Add(util::FormatEngineering(pipe))
+            .AddF("%.0f", f / 1e6)
+            .AddF("%.2f", pt.amplitude)
+            .Add(pt.fired ? "yes" : "no")
+            .Add(pt.fired
+                     ? util::StrPrintf("%.0f", pt.response.t_stability * 1e9)
+                     : ">window")
+            .AddF("%.3f", pt.response.vmax);
+        if (grid.cap < 5e-12 && pt.fired) {
+          serie.x.push_back(f / 1e6);
+          serie.y.push_back(pt.response.vmax);
+        }
+      }
+      if (!serie.x.empty()) vmax_series.push_back(std::move(serie));
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (!vmax_series.empty()) {
+    std::printf("Vmax (V) vs frequency (MHz), 1 pF load:\n%s\n",
+                waveform::AsciiPlotSeries(vmax_series).c_str());
+  }
+
+  // Detection-threshold scan: weakest pipe (smallest amplitude) fired.
+  std::printf("detection threshold scan (100 MHz, 1 pF, 250 ns window):\n");
+  core::DetectorOptions dth;
+  dth.load_cap = 1e-12;
+  double v2_threshold = 0.0;
+  for (double pipe : {5e3, 6e3, 8e3, 10e3, 12e3, 16e3}) {
+    const auto pt = bench::RunDetectorPoint(2, 100e6, pipe, 0.25e-6, dth);
+    std::printf("  pipe %5s -> amplitude %.3f V : %s\n",
+                util::FormatEngineering(pipe).c_str(), pt.amplitude,
+                pt.fired ? "DETECTED" : "missed");
+    if (pt.fired) v2_threshold = pt.amplitude;
+  }
+  std::printf("  => variant-2 detectable amplitude extends down to ~%.2f V "
+              "(paper: 0.35 V)\n",
+              v2_threshold);
+  {
+    cml::CmlTechnology tech;
+    const double predicted =
+        core::PredictDetectionThreshold(tech, dth, 0.25e-6);
+    std::printf("  analytic response model predicts %.2f V for the same "
+                "window (core/response_model.h)\n\n",
+                predicted);
+  }
+
+  // vtest ablation: sensitivity rises with vtest until the normal low
+  // level itself fires the taps (false alarm) — the compromise the paper
+  // settles at 3.7 V.
+  std::printf("vtest ablation (4 kOhm pipe vs fault-free, 100 MHz, 1 pF):\n");
+  for (double vtest : {3.5, 3.6, 3.7, 3.8, 3.9}) {
+    core::DetectorOptions dopt;
+    dopt.load_cap = 1e-12;
+    dopt.vtest_test_mode = vtest;
+    const auto pt = bench::RunDetectorPoint(2, 100e6, 4e3, 0.25e-6, dopt);
+    const auto ff = bench::RunDetectorPoint(2, 100e6, 0.0, 0.25e-6, dopt);
+    std::printf("  vtest = %.1f V : faulty %s, fault-free %s\n", vtest,
+                pt.fired ? "DETECTED" : "missed  ",
+                ff.fired ? "FALSE ALARM" : "clean");
+  }
+  std::printf(
+      "\npaper: a 3.7 V vtest is an excellent compromise for a VBE = 900 mV\n"
+      "technology; the detectable amplitude reduces to ~0.35 V and\n"
+      "tstability is much shorter than variant 1's.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Figure 15 / §6.5 and the paper's overhead argument against
+// prior art: per-monitored-gate area of each detector variant, the
+// multi-emitter optimization, amortized variant-3 sharing, and Menon's
+// one-XOR-per-gate baseline. Closed-form counts are cross-checked against
+// devices actually instantiated by the builders.
+#include <cstdio>
+
+#include "bench/paper_bench.h"
+#include "core/area.h"
+#include "util/table.h"
+
+using namespace cmldft;
+
+namespace {
+core::AreaCount BuiltDetectorArea(int variant, bool multi_emitter) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialDc("in", true);
+  const cml::DiffPort out = cells.AddBuffer("gate", in);
+  core::DetectorOptions dopt;
+  dopt.multi_emitter = multi_emitter;
+  core::DetectorBuilder det(cells, dopt);
+  if (variant == 1) {
+    det.AttachVariant1("det", out);
+  } else if (variant == 2) {
+    det.AttachVariant2("det", out);
+  } else {
+    det.AttachVariant3("det", out);
+  }
+  return core::CountNetlistArea(nl, "det");
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig15_area_overhead",
+      "Figure 15 / §6.5 (area optimization and overhead accounting)",
+      "area units: transistor=1, extra emitter=0.3, resistor=0.4, cap=2");
+
+  const core::AreaCount buffer = core::CmlBufferArea();
+  std::printf("reference CML buffer: %d transistors, %d resistors -> %.1f units\n\n",
+              buffer.transistors, buffer.resistors, buffer.Units());
+
+  util::Table table({"scheme", "T", "+E", "R", "C", "units/gate",
+                     "overhead vs buffer"});
+  auto row = [&](const char* name, const core::AreaCount& a, double units) {
+    table.NewRow()
+        .Add(name)
+        .AddInt(a.transistors)
+        .AddInt(a.extra_emitters)
+        .AddInt(a.resistors)
+        .AddInt(a.capacitors)
+        .AddF("%.2f", units)
+        .AddF("%.0f%%", 100.0 * units / buffer.Units());
+  };
+  const auto v1d = core::Variant1Area(false);
+  const auto v1r = core::Variant1Area(true);
+  const auto v2 = core::Variant2Area(false);
+  const auto v2me = core::Variant2Area(true);
+  const auto menon = core::MenonXorArea();
+  row("variant 1 (diode load)", v1d, v1d.Units());
+  row("variant 1 (resistor load)", v1r, v1r.Units());
+  row("variant 2", v2, v2.Units());
+  row("variant 2, multi-emitter", v2me, v2me.Units());
+  const auto v3g = core::Variant3PerGateArea(false);
+  const auto v3me = core::Variant3PerGateArea(true);
+  row("variant 3, N=1 shared", v3g, core::Variant3AmortizedUnits(1, false));
+  row("variant 3, N=10 shared", v3g, core::Variant3AmortizedUnits(10, false));
+  row("variant 3, N=45 shared", v3g, core::Variant3AmortizedUnits(45, false));
+  row("variant 3, N=45, multi-emitter", v3me,
+      core::Variant3AmortizedUnits(45, true));
+  row("prior art: Menon XOR/gate [4]", menon, menon.Units());
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Verify the closed-form counts against real constructions.
+  std::printf("closed-form vs instantiated netlists:\n");
+  struct Check {
+    const char* name;
+    int variant;
+    bool me;
+    core::AreaCount expected;
+  };
+  // The builders add the weak bleed resistor across diode loads (not part
+  // of the paper's schematic, counted separately below).
+  const Check checks[] = {
+      {"variant 1", 1, false, core::Variant1Area(false)},
+      {"variant 2", 2, false, core::Variant2Area(false)},
+      {"variant 2 ME", 2, true, core::Variant2Area(true)},
+  };
+  bool all_ok = true;
+  for (const Check& c : checks) {
+    const core::AreaCount built = BuiltDetectorArea(c.variant, c.me);
+    const bool ok = built.transistors == c.expected.transistors &&
+                    built.extra_emitters == c.expected.extra_emitters &&
+                    built.capacitors == c.expected.capacitors &&
+                    built.resistors == c.expected.resistors + 1;  // + bleed
+    std::printf("  %-12s built T=%d +E=%d R=%d C=%d  %s\n", c.name,
+                built.transistors, built.extra_emitters, built.resistors,
+                built.capacitors, ok ? "matches model (+1 bleed R)" : "MISMATCH");
+    all_ok = all_ok && ok;
+  }
+  std::printf(
+      "\npaper: the multi-emitter transistor allows a considerable reduction\n"
+      "for circuits using many detectors; Menon's technique costs one test\n"
+      "gate per circuit gate (very high overhead). measured: variant 3 at\n"
+      "N=45 with multi-emitter taps costs %.2f units/gate = %.0f%% of a\n"
+      "buffer, vs %.1f units (%.0f%%) for the XOR-per-gate prior art.\n",
+      core::Variant3AmortizedUnits(45, true),
+      100.0 * core::Variant3AmortizedUnits(45, true) / buffer.Units(),
+      menon.Units(), 100.0 * menon.Units() / buffer.Units());
+  return all_ok ? 0 : 1;
+}

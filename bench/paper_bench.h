@@ -1,0 +1,141 @@
+// Shared scaffolding for the per-table/per-figure reproduction benches:
+// the paper's Fig. 3 testbench (8-buffer chain X11 X22 DUT X33..X77),
+// defect helpers, and uniform output headers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cml/builder.h"
+#include "core/detector.h"
+#include "defects/defect.h"
+#include "netlist/netlist.h"
+#include "sim/transient.h"
+#include "waveform/measure.h"
+#include "util/status.h"
+
+namespace cmldft::bench {
+
+/// Stage names of the paper's Fig. 3 chain; the defective buffer is the
+/// third ("dut").
+inline const std::vector<std::string> kChainNames = {
+    "x11", "x22", "dut", "x33", "x44", "x55", "x66", "x77"};
+/// The paper's output labels for the same stages.
+inline const std::vector<std::string> kOutputLabels = {
+    "op1", "a", "op", "op3", "op4", "op5", "op6", "op7"};
+
+struct PaperChain {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::DiffPort input;                // va / vab
+  std::vector<cml::DiffPort> outs;    // one per stage
+};
+
+/// Build the Fig. 3 chain driven by a differential clock at `frequency`.
+inline PaperChain MakePaperChain(double frequency) {
+  PaperChain chain;
+  cml::CellBuilder cells(chain.nl, chain.tech);
+  chain.input = cells.AddDifferentialClock("va", frequency);
+  chain.outs =
+      cells.AddBufferChain("x", chain.input, static_cast<int>(kChainNames.size()),
+                           kChainNames);
+  return chain;
+}
+
+/// C-E pipe on the DUT's current-source transistor (the paper's central
+/// defect).
+inline defects::Defect DutPipe(double resistance) {
+  defects::Defect d;
+  d.type = defects::DefectType::kTransistorPipe;
+  d.device = "dut.q3";
+  d.terminal_a = 0;
+  d.terminal_b = 2;
+  d.resistance = resistance;
+  return d;
+}
+
+inline netlist::Netlist WithDutPipe(const PaperChain& chain, double resistance) {
+  auto faulty = defects::WithDefect(chain.nl, DutPipe(resistance));
+  if (!faulty.ok()) {
+    std::fprintf(stderr, "defect injection failed: %s\n",
+                 faulty.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(faulty).value();
+}
+
+inline sim::TransientResult MustRunTransient(const netlist::Netlist& nl,
+                                             const sim::TransientOptions& opts) {
+  auto r = sim::RunTransient(nl, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "transient failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+/// One point of the Fig. 8 / Fig. 10 detector characterization: a 3-buffer
+/// chain whose middle (DUT) gate carries a C-E pipe, one detector of the
+/// requested variant on the DUT output, simulated for `window` seconds.
+struct DetectorPoint {
+  double frequency = 0.0;
+  double pipe = 0.0;            ///< pipe resistance; 0 = fault-free
+  double amplitude = 0.0;       ///< differential |op-opb| amplitude at the DUT
+  waveform::DetectorResponse response;
+  bool fired = false;           ///< vout dropped > 0.1 V below vgnd in window
+};
+
+inline DetectorPoint RunDetectorPoint(int variant, double frequency,
+                                      double pipe_resistance, double window,
+                                      const core::DetectorOptions& dopt) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialClock("va", frequency);
+  const cml::DiffPort o0 = cells.AddBuffer("x0", in);
+  const cml::DiffPort dut = cells.AddBuffer("dut", o0);
+  cells.AddBuffer("x1", dut);
+  core::DetectorBuilder det(cells, dopt);
+  const std::string vout_name = variant == 1 ? det.AttachVariant1("det", dut)
+                                             : det.AttachVariant2("det", dut);
+  netlist::Netlist target = nl;
+  if (pipe_resistance > 0.0) {
+    auto faulty = defects::WithDefect(nl, DutPipe(pipe_resistance));
+    if (!faulty.ok()) {
+      std::fprintf(stderr, "inject: %s\n", faulty.status().ToString().c_str());
+      std::exit(1);
+    }
+    target = std::move(faulty).value();
+  }
+  if (variant == 2) {
+    (void)core::SetTestMode(target, true, dopt.vtest_test_mode, tech.vgnd);
+  }
+  sim::TransientOptions opts;
+  opts.tstop = window;
+  opts.dt_max = std::min(1e-10, 0.05 / frequency);
+  auto r = MustRunTransient(target, opts);
+
+  DetectorPoint point;
+  point.frequency = frequency;
+  point.pipe = pipe_resistance;
+  auto diff = r.Differential(dut.p_name, dut.n_name).Window(window * 0.25, window);
+  point.amplitude = std::max(std::abs(diff.Max()), std::abs(diff.Min()));
+  auto vout = r.Voltage(vout_name);
+  point.response = waveform::MeasureDetectorResponse(vout);
+  point.fired = vout.Min() < tech.vgnd - 0.1;
+  return point;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* summary) {
+  std::printf("================================================================\n");
+  std::printf("%s  —  reproduces %s\n", experiment, paper_ref);
+  std::printf("%s\n", summary);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace cmldft::bench

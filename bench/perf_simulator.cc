@@ -1,0 +1,117 @@
+// Engine-performance benchmark (google-benchmark): DC operating point and
+// transient throughput on CML buffer chains of increasing length, and the
+// dense-LU kernel. Not a paper experiment — documents what the substrate
+// costs so sweep sizes in the other benches are explainable.
+#include <benchmark/benchmark.h>
+
+#include "bench/paper_bench.h"
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+#include "sim/dc.h"
+#include "util/rng.h"
+
+using namespace cmldft;
+
+namespace {
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialDc("in", true);
+  cells.AddBufferChain("x", in, n);
+  for (auto _ : state) {
+    auto r = sim::SolveDc(nl);
+    if (!r.ok()) state.SkipWithError("dc failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(nl.Summary());
+}
+BENCHMARK(BM_DcOperatingPoint)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TransientNsPerStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialClock("in", 100e6);
+  cells.AddBufferChain("x", in, n);
+  sim::TransientOptions opts;
+  opts.tstop = 10e-9;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = sim::RunTransient(nl, opts);
+    if (!r.ok()) state.SkipWithError("transient failed");
+    steps += r->stats().accepted_steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_TransientNsPerStep)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DenseLuFactorSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(42);
+  linalg::Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.NextDouble(-1, 1);
+    a(r, r) += static_cast<double>(n);  // diagonally dominant
+  }
+  linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    linalg::LuFactorization lu;
+    if (!lu.Factor(a).ok()) state.SkipWithError("factor failed");
+    auto x = lu.Solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_DenseLuFactorSolve)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Sparse vs dense on an MNA-like pattern (~5 entries/row): the crossover
+// that motivates NewtonOptions::Solver::kAuto.
+void BM_SparseLuFactorSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(42);
+  linalg::SparseBuilder b(n);
+  for (size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const size_t c = rng.NextBelow(n);
+      const double v = rng.NextDouble(-1, 1);
+      b.Add(r, c, v);
+      row_sum += std::abs(v);
+    }
+    b.Add(r, r, row_sum + 1.0);
+  }
+  linalg::Vector rhs(n, 1.0);
+  for (auto _ : state) {
+    linalg::SparseLu lu;
+    if (!lu.Factor(b).ok()) state.SkipWithError("factor failed");
+    auto x = lu.Solve(rhs);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SparseLuFactorSolve)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DcSolverComparison(benchmark::State& state) {
+  // 32-buffer chain (133 unknowns) with the solver forced each way.
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialDc("in", true);
+  cells.AddBufferChain("x", in, 32);
+  sim::DcOptions opt;
+  opt.newton.solver = state.range(0) == 0 ? sim::NewtonOptions::Solver::kDense
+                                          : sim::NewtonOptions::Solver::kSparse;
+  for (auto _ : state) {
+    auto r = sim::SolveDc(nl, opt);
+    if (!r.ok()) state.SkipWithError("dc failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(state.range(0) == 0 ? "dense" : "sparse");
+}
+BENCHMARK(BM_DcSolverComparison)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

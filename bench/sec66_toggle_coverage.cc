@@ -1,0 +1,88 @@
+// Reproduces §6.6 (testing approach): amplitude faults are asserted by
+// making the faulty gate TOGGLE, so the test-scheduling problem is toggle
+// coverage. For combinational circuits: sensitizing vectors (greedy
+// selection). For sequential circuits: pseudorandom patterns, plus the
+// initialization-convergence property of ref [13] (circuits converge to a
+// deterministic state irrespective of the initial state). Stuck-at fault
+// simulation of the same pattern sets is included for comparison.
+#include <cstdio>
+
+#include "bench/paper_bench.h"
+#include "digital/faultsim.h"
+#include "util/strings.h"
+#include "digital/patterns.h"
+#include "testgen/amplitude_test.h"
+#include "util/table.h"
+#include "waveform/plot.h"
+
+using namespace cmldft;
+
+int main() {
+  bench::PrintHeader(
+      "sec66_toggle_coverage",
+      "section 6.6 (toggle coverage with random patterns; initialization)",
+      "scrambler & counter (sequential), parity-mux & ISCAS c17 "
+      "(combinational)");
+
+  struct Circuit {
+    const char* name;
+    digital::GateNetlist nl;
+  };
+  Circuit circuits[] = {
+      {"scrambler7", digital::MakeScrambler(7)},
+      {"counter4", digital::MakeCounter4()},
+      {"parity_mux8", digital::MakeParityMux(8)},
+      {"c17", digital::MakeC17()},
+  };
+
+  util::Table table({"circuit", "signals", "dffs", "toggle cov (2000 pat)",
+                     "patterns to 100%", "init converges in", "stuck-at cov"});
+  std::vector<waveform::Series> curves;
+  for (auto& c : circuits) {
+    const auto plan = testgen::PlanSequentialToggleTest(c.nl, {});
+    const auto faults = digital::EnumerateStuckAtFaults(c.nl);
+    const auto patterns = digital::GeneratePatterns(
+        static_cast<int>(c.nl.inputs().size()), 512, 0xACE1u);
+    const auto fs = digital::RunStuckAtFaultSim(c.nl, faults, patterns);
+    table.NewRow()
+        .Add(c.name)
+        .AddInt(c.nl.num_signals())
+        .AddInt(static_cast<long long>(c.nl.dffs().size()))
+        .AddF("%.1f%%", plan.history.final_coverage * 100)
+        .Add(plan.history.PatternsToReach(1.0) > 0
+                 ? util::StrPrintf("%d", plan.history.PatternsToReach(1.0))
+                 : std::string("not reached"))
+        .Add(plan.convergence.converged
+                 ? util::StrPrintf("%d cycles", plan.convergence.cycles_to_converge)
+                 : std::string("no"))
+        .AddF("%.1f%%", fs.Coverage() * 100);
+    waveform::Series s;
+    s.name = c.name;
+    for (size_t i = 0; i < plan.history.pattern_counts.size(); ++i) {
+      if (plan.history.pattern_counts[i] <= 200) {
+        s.x.push_back(plan.history.pattern_counts[i]);
+        s.y.push_back(plan.history.coverage[i] * 100);
+      }
+    }
+    curves.push_back(std::move(s));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("toggle coverage (%%) vs random patterns applied:\n%s\n",
+              waveform::AsciiPlotSeries(curves).c_str());
+
+  // Combinational plan: compact sensitizing vector set.
+  const auto comb = digital::MakeParityMux(8);
+  const auto plan = testgen::PlanCombinationalToggleTest(comb, {});
+  std::printf(
+      "combinational amplitude-test plan for parity_mux8: %zu vectors reach\n"
+      "%.1f%% toggle coverage (%zu gates untoggled).\n",
+      plan.patterns.size(), plan.coverage * 100, plan.untoggled.size());
+
+  std::printf(
+      "\npaper: \"an effective method to obtain a good toggle coverage in a\n"
+      "sequential circuit is to stimulate it with random patterns\", and\n"
+      "initialization is unproblematic because circuits \"tend to converge\n"
+      "to a deterministic state, irrespective of the initial state\" [13] —\n"
+      "both quantified above.\n");
+  return 0;
+}

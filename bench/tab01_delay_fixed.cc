@@ -1,0 +1,88 @@
+// Reproduces Table 1: propagation delays measured at the FIXED reference
+// voltage (the normal crossing point of an output and its complement,
+// paper: 3.165 V) on every chain output, fault-free vs 4 kOhm pipe.
+// The headline: the faulty gate shows a large apparent delay shift on one
+// output, but the difference at the end of the chain is insignificant —
+// the "delay fault" heals and escapes a path-delay test.
+#include <cstdio>
+#include <optional>
+
+#include "bench/paper_bench.h"
+#include "util/table.h"
+#include "waveform/measure.h"
+
+using namespace cmldft;
+
+namespace {
+// Cumulative crossing time (ps) of the first rising/falling edge of `node`
+// at the fixed reference, after t_from.
+std::optional<double> FirstCrossing(const sim::TransientResult& r,
+                                    const std::string& node, double level,
+                                    double t_from) {
+  auto all = waveform::Crossings(r.Voltage(node), level);
+  return waveform::FirstCrossingAfter(all, t_from);
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "tab01_delay_fixed",
+      "Table 1 (delays at the fixed 'normal crossing point' reference)",
+      "8-buffer chain, 100 MHz, 4 kOhm pipe on DUT.q3; cumulative edge "
+      "times and fault-free-vs-faulty differences");
+
+  auto chain = bench::MakePaperChain(100e6);
+  auto faulty = bench::WithDutPipe(chain, 4e3);
+  sim::TransientOptions opts;
+  opts.tstop = 20e-9;
+  auto good = bench::MustRunTransient(chain.nl, opts);
+  auto bad = bench::MustRunTransient(faulty, opts);
+
+  const double vref = chain.tech.v_mid();  // paper: 3.165 V, ours: 3.175 V
+  // Measure the edge train that starts at the input's second rising edge
+  // (the first full-amplitude propagated transition).
+  auto in_cross = waveform::Crossings(good.Voltage(chain.input.p_name), vref,
+                                      waveform::Edge::kRising);
+  if (in_cross.size() < 2) {
+    std::fprintf(stderr, "no input edges found\n");
+    return 1;
+  }
+  const double t_edge = in_cross[1];
+
+  std::printf("fixed reference voltage: %.3f V (paper: 3.165 V)\n\n", vref);
+  util::Table table({"output", "FF p (ps)", "Pipe p (ps)", "dt p (ps)",
+                     "FF n (ps)", "Pipe n (ps)", "dt n (ps)"});
+  table.NewRow().Add("va/vab").Add("0").Add("0").Add("0").Add("0").Add("0").Add("0");
+  double last_dtp = 0.0, dut_dtn = 0.0, dut_dtp = 0.0;
+  for (size_t s = 0; s < chain.outs.size(); ++s) {
+    auto row_val = [&](const sim::TransientResult& r, const std::string& node) {
+      auto c = FirstCrossing(r, node, vref, t_edge - 0.2e-9);
+      return c ? (*c - t_edge) * 1e12 : -1.0;
+    };
+    const double ffp = row_val(good, chain.outs[s].p_name);
+    const double bp = row_val(bad, chain.outs[s].p_name);
+    const double ffn = row_val(good, chain.outs[s].n_name);
+    const double bn = row_val(bad, chain.outs[s].n_name);
+    table.NewRow()
+        .Add(bench::kOutputLabels[s])
+        .AddF("%.0f", ffp)
+        .AddF("%.0f", bp)
+        .AddF("%.0f", bp - ffp)
+        .AddF("%.0f", ffn)
+        .AddF("%.0f", bn)
+        .AddF("%.0f", bn - ffn);
+    if (s == 2) {
+      dut_dtp = bp - ffp;  // one DUT output appears slower...
+      dut_dtn = bn - ffn;  // ...its complement faster (paper: +58 / -16 ps)
+    }
+    if (s + 1 == chain.outs.size()) last_dtp = bp - ffp;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper: one DUT output appears ~58 ps slower while its complement\n"
+      "appears faster (-16 ps), yet the final-output difference is 0-1 ps.\n"
+      "measured: DUT-output shifts %+.0f / %+.0f ps; final-output shift "
+      "%+.0f ps (healed -> escapes delay test).\n",
+      dut_dtp, dut_dtn, last_dtp);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table 2: the same chain delays re-measured at the ACTUAL
+// crossing voltage of each output pair (the time op and opb cross each
+// other, wherever that is). With this measurement even the faulty DUT
+// shows only a modest delay difference — explaining the healing: the
+// differential information is intact, only the common-mode/amplitude is
+// degraded.
+#include <cstdio>
+
+#include "bench/paper_bench.h"
+#include "util/table.h"
+#include "waveform/measure.h"
+
+using namespace cmldft;
+
+namespace {
+double FirstDiffCrossing(const sim::TransientResult& r, const cml::DiffPort& p,
+                         double t_from) {
+  auto cross = waveform::DifferentialCrossings(r.Voltage(p.p_name),
+                                               r.Voltage(p.n_name));
+  auto t = waveform::FirstCrossingAfter(cross, t_from);
+  return t ? *t : -1.0;
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "tab02_delay_actual",
+      "Table 2 (delays at the actual op/opb crossing voltage)",
+      "same chain and 4 kOhm pipe; per-stage gate delay and dTau vs "
+      "fault-free");
+
+  auto chain = bench::MakePaperChain(100e6);
+  auto faulty = bench::WithDutPipe(chain, 4e3);
+  sim::TransientOptions opts;
+  opts.tstop = 20e-9;
+  auto good = bench::MustRunTransient(chain.nl, opts);
+  auto bad = bench::MustRunTransient(faulty, opts);
+
+  auto in_cross = waveform::DifferentialCrossings(
+      good.Voltage(chain.input.p_name), good.Voltage(chain.input.n_name));
+  const double t_edge = in_cross.size() > 1 ? in_cross[1] : in_cross[0];
+
+  util::Table table({"output", "tauFF (ps)", "delayFF (ps)", "tauPipe (ps)",
+                     "delayPipe (ps)", "dTau (ps)", "d%"});
+  double prev_ff = 0.0, prev_pipe = 0.0;
+  double dut_pct = 0.0, final_pct = 0.0, nominal_delay = 0.0;
+  for (size_t s = 0; s < chain.outs.size(); ++s) {
+    const double tff =
+        (FirstDiffCrossing(good, chain.outs[s], t_edge - 0.2e-9) - t_edge) * 1e12;
+    const double tp =
+        (FirstDiffCrossing(bad, chain.outs[s], t_edge - 0.2e-9) - t_edge) * 1e12;
+    const double dff = tff - prev_ff;
+    const double dp = tp - prev_pipe;
+    const double dtau = tp - tff;
+    const double pct = dff > 0 ? 100.0 * dtau / dff : 0.0;
+    table.NewRow()
+        .Add(bench::kOutputLabels[s])
+        .AddF("%.0f", tff)
+        .AddF("%.0f", dff)
+        .AddF("%.0f", tp)
+        .AddF("%.0f", dp)
+        .AddF("%.0f", dtau)
+        .AddF("%.0f", pct);
+    if (s == 2) dut_pct = pct;
+    if (s + 1 == chain.outs.size()) final_pct = pct;
+    if (s == 4) nominal_delay = dff;
+    prev_ff = tff;
+    prev_pipe = tp;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper: with the actual-crossing measurement \"even at DUTf, the delay\n"
+      "differences were modest\" (13%% at the DUT, ~2%% at the end; nominal "
+      "delay ~53 ps).\n"
+      "measured: DUT dTau = %.0f%% of a gate delay; final output %.0f%%; "
+      "nominal gate delay %.0f ps.\n",
+      dut_pct, final_pct, nominal_delay);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Example: DFT insertion on a small CML datapath — the 2:1 MUX + XOR
+// front-end of a transceiver lane (the application domain the paper's
+// introduction motivates). Variant-3 detectors with a shared load monitor
+// every gate; the test flow sensitizes the datapath, toggles it, and reads
+// the single pass/fail flag.
+//
+//   $ ./examples/dft_insertion
+#include <cstdio>
+
+#include "cml/builder.h"
+#include "core/area.h"
+#include "core/detector.h"
+#include "defects/defect.h"
+#include "sim/transient.h"
+#include "util/units.h"
+#include "waveform/measure.h"
+
+using namespace cmldft;
+using namespace cmldft::util::literals;
+
+namespace {
+// Build the datapath + DFT; returns the shared-load handle.
+struct Design {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  core::SharedLoad load;
+  std::string mux_out;
+};
+
+Design BuildDesign() {
+  Design d;
+  cml::CellBuilder cells(d.nl, d.tech);
+  // Two data lanes and a lane-select toggling at different rates, so every
+  // gate in the cone toggles (the paper's sensitize-and-toggle condition).
+  const cml::DiffPort a = cells.AddDifferentialClock("lane_a", 200_MHz);
+  const cml::DiffPort b = cells.AddDifferentialClock("lane_b", 100_MHz);
+  const cml::DiffPort sel = cells.AddDifferentialClock("sel", 25_MHz);
+  const cml::DiffPort mux = cells.AddMux2("mux", a, b, sel);
+  const cml::DiffPort scr = cells.AddXor2("scr", mux, b);   // scrambler tap
+  const cml::DiffPort out = cells.AddBuffer("obuf", scr);
+  cells.AddBuffer("term", out);  // line termination stage
+  d.mux_out = mux.p_name;
+
+  // DFT insertion: one shared load + comparator, taps on every gate output
+  // (multi-emitter taps: the Fig. 15 area optimization).
+  core::DetectorOptions dopt;
+  dopt.multi_emitter = true;
+  dopt.load_cap = 1_pF;
+  core::DetectorBuilder det(cells, dopt);
+  d.load = det.AddSharedLoad("dft");
+  det.AttachTap(d.load, "tap_mux", mux);
+  det.AttachTap(d.load, "tap_scr", scr);
+  det.AttachTap(d.load, "tap_out", out);
+  return d;
+}
+}  // namespace
+
+int main() {
+  Design design = BuildDesign();
+  std::printf("datapath + DFT: %s\n", design.nl.Summary().c_str());
+  const auto dft_area = core::CountNetlistArea(design.nl, "dft");
+  const auto tap_area = core::CountNetlistArea(design.nl, "tap");
+  std::printf("DFT cost: shared load/comparator %d T + %d R + %d C; taps %d T "
+              "(+%d emitters) across 3 gates\n\n",
+              dft_area.transistors, dft_area.resistors, dft_area.capacitors,
+              tap_area.transistors, tap_area.extra_emitters);
+
+  sim::TransientOptions topts;
+  topts.tstop = 150_ns;
+
+  // Production-test flow: run once clean, once with a manufacturing defect.
+  for (const char* scenario : {"good die", "defective die"}) {
+    netlist::Netlist die = design.nl;
+    if (scenario[0] == 'd') {
+      defects::Defect pipe;
+      pipe.type = defects::DefectType::kTransistorPipe;
+      pipe.device = "mux.q3";  // pipe in the MUX's current source
+      pipe.resistance = 2_kOhm;
+      if (!defects::InjectDefect(die, pipe).ok()) return 1;
+    }
+    (void)core::SetTestMode(die, true, 3.7, design.tech.vgnd);
+    auto r = sim::RunTransient(die, topts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", scenario, r.status().ToString().c_str());
+      return 1;
+    }
+    const double co = r->Voltage(design.load.comp_out_name).value.back();
+    const double vout = r->Voltage(design.load.vout_name).value.back();
+    const bool pass = co > 3.63;
+    std::printf("%-14s vout=%.3f V  comparator=%.3f V  ->  %s\n", scenario,
+                vout, co, pass ? "PASS" : "FAULT FLAGGED");
+    // The defect heals downstream: show that the primary output still looks
+    // healthy (why conventional test misses it).
+    const auto sw = waveform::MeasureSwing(r->Voltage("obuf.op"), 100_ns, 150_ns);
+    std::printf("               primary output swing: %.0f mV (looks %s)\n",
+                sw.swing * 1e3, sw.swing > 0.18 ? "healthy" : "broken");
+  }
+  std::printf("\nthe defective die toggles correctly at the primary output —\n"
+              "only the built-in detectors expose the pipe.\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "cml/synthesis.h"
+
+#include <cassert>
+
+#include "devices/sources.h"
+#include "util/strings.h"
+
+namespace cmldft::cml {
+
+using digital::GateNetlist;
+using digital::GateType;
+using digital::Logic;
+using digital::SignalId;
+
+double SynthesizedDesign::SampleTime(int pattern_index) const {
+  // Pattern k is tracked during the low clock phase [kT, kT + T/2) and the
+  // response is sampled just before the rising edge at kT + T/2.
+  const double T = options.period();
+  return pattern_index * T + 0.45 * T;
+}
+
+util::StatusOr<SynthesizedDesign> SynthesizeCml(const GateNetlist& gates,
+                                                CellBuilder& cells,
+                                                const SynthesisOptions& options) {
+  CMLDFT_ASSIGN_OR_RETURN(std::vector<SignalId> order,
+                          gates.TopologicalOrder());
+  SynthesizedDesign design;
+  design.options = options;
+  design.signal_ports.resize(static_cast<size_t>(gates.num_signals()));
+  design.input_sources.resize(gates.inputs().size());
+
+  if (!gates.dffs().empty()) {
+    // Rising edges at T/2 + k*T: the low half-period [kT, kT+T/2) is the
+    // master-transparent window during which pattern k is applied.
+    design.clock = cells.AddDifferentialClock("clk", options.clock_frequency,
+                                              /*delay=*/options.period() / 2.0,
+                                              options.edge_time);
+    design.has_clock = true;
+  }
+
+  // DFF data inputs may close register loops; patch after all ports exist.
+  struct PendingDff {
+    SignalId dff;
+    std::string master_cell;
+  };
+  std::vector<PendingDff> pending;
+
+  size_t input_index = 0;
+  for (SignalId id : order) {
+    const digital::Gate& g = gates.gate(id);
+    auto in = [&](int k) {
+      const DiffPort& p =
+          design.signal_ports[static_cast<size_t>(g.fanin[static_cast<size_t>(k)])];
+      assert(p.p != netlist::kInvalidNode && "fanin not yet synthesized");
+      return p;
+    };
+    switch (g.type) {
+      case GateType::kInput: {
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddDifferentialDc(g.name, false);
+        design.input_sources[input_index++] = {"V" + g.name + "_p",
+                                               "V" + g.name + "_n"};
+        break;
+      }
+      case GateType::kBuf:
+        design.signal_ports[static_cast<size_t>(id)] = cells.AddBuffer(g.name, in(0));
+        break;
+      case GateType::kNot: {
+        // Differential logic: inversion is a wire swap, no hardware.
+        const DiffPort p = in(0);
+        design.signal_ports[static_cast<size_t>(id)] =
+            DiffPort{p.n, p.p, p.n_name, p.p_name};
+        break;
+      }
+      case GateType::kAnd2:
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddAnd2(g.name, in(0), in(1));
+        break;
+      case GateType::kOr2:
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddOr2(g.name, in(0), in(1));
+        break;
+      case GateType::kXor2:
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddXor2(g.name, in(0), in(1));
+        break;
+      case GateType::kMux2:
+        // Digital fanin order: {sel, a, b}.
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddMux2(g.name, in(1), in(2), in(0));
+        break;
+      case GateType::kDff: {
+        // Rising-edge DFF; the data input is patched below (it may be a
+        // later signal), so the clock stands in as a placeholder.
+        design.signal_ports[static_cast<size_t>(id)] =
+            cells.AddDff(g.name, design.clock, design.clock);
+        pending.push_back({id, g.name + ".m"});
+        break;
+      }
+    }
+  }
+
+  // Patch DFF data inputs: rewire the master latch track pair's bases.
+  netlist::Netlist& nl = cells.netlist();
+  for (const PendingDff& p : pending) {
+    const digital::Gate& g = gates.gate(p.dff);
+    const DiffPort& d = design.signal_ports[static_cast<size_t>(g.fanin[0])];
+    if (d.p == netlist::kInvalidNode) {
+      return util::Status::Internal("DFF '" + g.name +
+                                    "' data input was never synthesized");
+    }
+    netlist::Device* q1 = nl.FindDevice(p.master_cell + ".q1");
+    netlist::Device* q2 = nl.FindDevice(p.master_cell + ".q2");
+    if (q1 == nullptr || q2 == nullptr) {
+      return util::Status::Internal("master latch devices missing for " + g.name);
+    }
+    q1->set_node(1, d.p);  // base of the true-side track transistor
+    q2->set_node(1, d.n);
+  }
+  return design;
+}
+
+util::Status ApplyPatternSequence(
+    netlist::Netlist& netlist, const SynthesizedDesign& design,
+    const std::vector<std::vector<Logic>>& patterns) {
+  if (patterns.empty()) {
+    return util::Status::InvalidArgument("empty pattern sequence");
+  }
+  const size_t width = design.input_sources.size();
+  const double T = design.options.period();
+  const double edge = design.options.edge_time;
+  // Technology levels recovered from the synthesized sources' current DC
+  // values is fragile; use the CML defaults the builder used.
+  const CmlTechnology tech;
+  const double hi = tech.v_high(), lo = tech.v_low();
+
+  for (size_t i = 0; i < width; ++i) {
+    std::vector<std::pair<double, double>> p_pts, n_pts;
+    double prev_p = 0.0, prev_n = 0.0;
+    for (size_t k = 0; k < patterns.size(); ++k) {
+      if (patterns[k].size() != width) {
+        return util::Status::InvalidArgument(util::StrPrintf(
+            "pattern %zu has %zu bits, design has %zu inputs", k,
+            patterns[k].size(), width));
+      }
+      const bool bit = patterns[k][i] == Logic::k1;
+      const double vp = bit ? hi : lo;
+      const double vn = bit ? lo : hi;
+      if (k == 0) {
+        p_pts.push_back({0.0, vp});
+        n_pts.push_back({0.0, vn});
+      } else {
+        // Transition shortly after the falling clock edge at kT.
+        const double t0 = k * T + 0.02 * T;
+        p_pts.push_back({t0, prev_p});
+        n_pts.push_back({t0, prev_n});
+        p_pts.push_back({t0 + edge, vp});
+        n_pts.push_back({t0 + edge, vn});
+      }
+      prev_p = vp;
+      prev_n = vn;
+    }
+    auto program = [&](const std::string& dev_name,
+                       std::vector<std::pair<double, double>> pts) -> util::Status {
+      netlist::Device* dev = netlist.FindDevice(dev_name);
+      if (dev == nullptr || dev->kind() != "vsource") {
+        return util::Status::NotFound("input source '" + dev_name + "' missing");
+      }
+      static_cast<devices::VSource*>(dev)->set_waveform(
+          devices::Waveform::Pwl(std::move(pts)));
+      return util::Status::Ok();
+    };
+    CMLDFT_RETURN_IF_ERROR(program(design.input_sources[i].first, std::move(p_pts)));
+    CMLDFT_RETURN_IF_ERROR(program(design.input_sources[i].second, std::move(n_pts)));
+  }
+  return util::Status::Ok();
+}
+
+Logic ReadLogic(const sim::TransientResult& result, const DiffPort& port,
+                double t) {
+  const double diff =
+      result.Voltage(port.p_name).At(t) - result.Voltage(port.n_name).At(t);
+  if (diff > 0.08) return Logic::k1;
+  if (diff < -0.08) return Logic::k0;
+  return Logic::kX;
+}
+
+}  // namespace cmldft::cml

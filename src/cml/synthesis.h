@@ -1,0 +1,65 @@
+// Gate-level to CML synthesis: map a digital::GateNetlist onto the CML
+// cell library, producing an analog netlist whose inputs can be driven by
+// digital pattern sequences (as differential PWL waveforms) and whose
+// signals can be read back as logic values. This closes the paper's flow:
+// plan toggle patterns digitally (§6.6), then apply them to the real CML
+// implementation with its built-in detectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cml/builder.h"
+#include "digital/gate_netlist.h"
+#include "digital/logic.h"
+#include "sim/transient.h"
+#include "util/status.h"
+
+namespace cmldft::cml {
+
+struct SynthesisOptions {
+  /// Pattern application rate; one digital pattern per clock period.
+  double clock_frequency = 100e6;
+  /// Input transition edge time [s].
+  double edge_time = 30e-12;
+  double period() const { return 1.0 / clock_frequency; }
+};
+
+/// Mapping from digital signals to the synthesized analog design.
+struct SynthesizedDesign {
+  /// DiffPort per digital SignalId (inputs, gate outputs, DFF outputs).
+  std::vector<DiffPort> signal_ports;
+  /// Differential source device names per primary input: {p, n}.
+  std::vector<std::pair<std::string, std::string>> input_sources;
+  /// The synthesized clock (present when the design has DFFs). DFFs become
+  /// master-slave latch pairs clocked on the rising edge.
+  DiffPort clock;
+  bool has_clock = false;
+  SynthesisOptions options;
+
+  /// Time at which the circuit's response to pattern k is valid for
+  /// sampling (just before the next rising clock edge).
+  double SampleTime(int pattern_index) const;
+};
+
+/// Synthesize `gates` into `cells`' netlist. Cell names follow the digital
+/// gate names ("<gate>.op"/"<gate>.opb" output pairs), so DFT insertion
+/// picks every synthesized gate up automatically.
+util::StatusOr<SynthesizedDesign> SynthesizeCml(
+    const digital::GateNetlist& gates, CellBuilder& cells,
+    const SynthesisOptions& options = {});
+
+/// Program the synthesized inputs with a pattern sequence: pattern k is
+/// stable while the clock is low before rising edge k+1 (master-slave
+/// safe). Overwrites the input source waveforms in `netlist` (which may be
+/// a faulty copy of the synthesized design).
+util::Status ApplyPatternSequence(
+    netlist::Netlist& netlist, const SynthesizedDesign& design,
+    const std::vector<std::vector<digital::Logic>>& patterns);
+
+/// Read the logic value of a synthesized signal at time t from a transient
+/// result (differential threshold at +-80 mV; kX inside the dead band).
+digital::Logic ReadLogic(const sim::TransientResult& result,
+                         const DiffPort& port, double t);
+
+}  // namespace cmldft::cml

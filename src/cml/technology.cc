@@ -1,0 +1,14 @@
+#include "cml/technology.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace cmldft::cml {
+
+double CmlTechnology::VbeAt(double ic, double temp_k) const {
+  return util::ThermalVoltage(temp_k) *
+         std::log(ic / devices::SaturationCurrentAt(npn, temp_k));
+}
+
+}  // namespace cmldft::cml

@@ -1,0 +1,59 @@
+// CML technology definition: rails, tail current, swing, device parameters.
+//
+// Calibrated to the paper's conventions: vgnd = 3.3 V top rail, vee = 0 V
+// (the global ground), ~250 mV single-ended swing, and a "VBE = 900 mV
+// technology" (VBE ~ 0.885 V at the 0.6 mA tail current).
+#pragma once
+
+#include "devices/bjt.h"
+#include "devices/diode.h"
+
+namespace cmldft::cml {
+
+struct CmlTechnology {
+  /// Top supply rail [V] (the paper's vgnd). The bottom rail vee is the
+  /// global ground node (0 V).
+  double vgnd = 3.3;
+  /// Gate tail current [A].
+  double tail_current = 0.6e-3;
+  /// Nominal single-ended output swing [V].
+  double swing = 0.25;
+  /// Current-source emitter degeneration resistor [Ohm]. Kept small: a
+  /// stiff-VBE current source is what lets a C-E pipe add its full current
+  /// to the steered branch (strong degeneration would absorb the pipe
+  /// current by backing off Q3 — and hide the defect).
+  double re = 10.0;
+  /// Parasitic wiring capacitance per gate output [F]. Together with the
+  /// junction capacitances this puts the gate delay near the paper's
+  /// ~53 ps library value.
+  double wire_cap = 45e-15;
+  /// Emitter-follower (level shifter) pull-down resistor [Ohm].
+  double level_shift_pulldown = 7.5e3;
+  /// NPN parameters for logic transistors.
+  devices::BjtParams npn;
+
+  /// Collector load resistance so that swing = tail_current * RC.
+  double load_resistance() const { return swing / tail_current; }
+
+  /// VBE of the logic NPN at collector current `ic` and temperature [V].
+  double VbeAt(double ic, double temp_k = 300.15) const;
+
+  /// Base bias for the current-source transistor so its collector current
+  /// is tail_current: vee + VBE(tail, T) + tail * re. The temperature
+  /// argument models the paper's "environment independent voltage
+  /// generator": the bias tracks VBE(T) so the tail current holds over the
+  /// operating range.
+  double bias_voltage(double temp_k = 300.15) const {
+    return VbeAt(tail_current, temp_k) + tail_current * re;
+  }
+
+  /// Logic voltage levels of a top-level (direct-coupled) output.
+  double v_high() const { return vgnd; }
+  double v_low() const { return vgnd - swing; }
+  /// Midpoint between v_high and v_low: the "normal crossing point" the
+  /// paper uses for fixed-reference delay measurement (3.165 V represents
+  /// how ECL-type gates would threshold the output).
+  double v_mid() const { return vgnd - 0.5 * swing; }
+};
+
+}  // namespace cmldft::cml

@@ -1,0 +1,25 @@
+#include "cml/variation.h"
+
+namespace cmldft::cml {
+
+CmlTechnology SampleTechnology(const CmlTechnology& nominal,
+                               const VariationModel& model, util::Rng& rng) {
+  CmlTechnology t = nominal;
+  t.swing *= 1.0 + rng.NextDouble(-model.load_resistance_spread,
+                                  model.load_resistance_spread);
+  t.wire_cap *=
+      1.0 + rng.NextDouble(-model.wire_cap_spread, model.wire_cap_spread);
+  t.npn.is *= 1.0 + rng.NextDouble(-model.is_spread, model.is_spread);
+  return t;
+}
+
+CmlTechnology SlowGate(const CmlTechnology& nominal, double delay_factor) {
+  CmlTechnology t = nominal;
+  // Gate delay splits between wiring RC and junction charge; scaling the
+  // wire capacitance over-proportionally compensates for the fixed
+  // junction share (empirically calibrated against the chain delay).
+  t.wire_cap *= 1.0 + (delay_factor - 1.0) * 2.2;
+  return t;
+}
+
+}  // namespace cmldft::cml

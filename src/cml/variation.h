@@ -1,0 +1,28 @@
+// Process-variation sampling for Monte-Carlo experiments. The paper's §1
+// argument against delay testing rests on it: "considering that each gate
+// can have a modest variation in delay of 10% of nominal value, the tester
+// evaluating a 10 gate deep chain could escape a faulty gate going twice
+// slower than nominal".
+#pragma once
+
+#include "cml/technology.h"
+#include "util/rng.h"
+
+namespace cmldft::cml {
+
+struct VariationModel {
+  /// Relative 3-sigma-ish spread applied uniformly (+-) per gate.
+  double load_resistance_spread = 0.10;  ///< via the swing parameter
+  double wire_cap_spread = 0.25;
+  double is_spread = 0.15;               ///< saturation-current mismatch
+};
+
+/// Draw a per-gate technology variant around `nominal`.
+CmlTechnology SampleTechnology(const CmlTechnology& nominal,
+                               const VariationModel& model, util::Rng& rng);
+
+/// A deliberately slow gate: wire capacitance scaled so the gate's delay is
+/// roughly `delay_factor` x nominal (the "faulty gate going twice slower").
+CmlTechnology SlowGate(const CmlTechnology& nominal, double delay_factor);
+
+}  // namespace cmldft::cml

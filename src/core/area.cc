@@ -1,0 +1,86 @@
+#include "core/area.h"
+
+#include "devices/bjt.h"
+#include "util/strings.h"
+
+namespace cmldft::core {
+
+AreaCount CmlBufferArea() {
+  // Q1, Q2, Q3 + RC1, RC2, RE (wire caps are parasitics, not layout area).
+  return {.transistors = 3, .extra_emitters = 0, .resistors = 3, .capacitors = 0};
+}
+
+AreaCount Variant1Area(bool resistor_load) {
+  // Q4 + (Q5 diode | 160k resistor) + C7.
+  AreaCount a;
+  a.transistors = resistor_load ? 1 : 2;
+  a.resistors = resistor_load ? 1 : 0;
+  a.capacitors = 1;
+  return a;
+}
+
+AreaCount Variant2Area(bool multi_emitter) {
+  // (Q4+Q5 | one two-emitter device) + Q6 diode + C7.
+  AreaCount a;
+  if (multi_emitter) {
+    a.transistors = 2;  // QME + Q6
+    a.extra_emitters = 1;
+  } else {
+    a.transistors = 3;
+  }
+  a.capacitors = 1;
+  return a;
+}
+
+AreaCount Variant3PerGateArea(bool multi_emitter) {
+  // Just the tap transistors; load + comparator are shared.
+  AreaCount a;
+  if (multi_emitter) {
+    a.transistors = 1;
+    a.extra_emitters = 1;
+  } else {
+    a.transistors = 2;
+  }
+  return a;
+}
+
+AreaCount Variant3SharedArea() {
+  // Q0 + R0 + C0, comparator (QA, QB, QT + RCA, RCB, RET), level shifter
+  // (QLS + RLS).
+  return {.transistors = 5, .extra_emitters = 0, .resistors = 5, .capacitors = 1};
+}
+
+double Variant3AmortizedUnits(int gates_per_load, bool multi_emitter) {
+  const AreaCount per_gate = Variant3PerGateArea(multi_emitter);
+  const AreaCount shared = Variant3SharedArea();
+  return per_gate.Units() + shared.Units() / gates_per_load;
+}
+
+AreaCount MenonXorArea() {
+  // A CML XOR2 checker per gate: 6 pair transistors + tail + level shifter
+  // (2 transistors) + 2 collector resistors + RE + 2 shifter pulldowns.
+  return {.transistors = 9, .extra_emitters = 0, .resistors = 5, .capacitors = 0};
+}
+
+AreaCount CountNetlistArea(const netlist::Netlist& netlist,
+                           const std::string& prefix) {
+  AreaCount a;
+  netlist.ForEachDevice([&](const netlist::Device& dev) {
+    if (!util::StartsWith(dev.name(), prefix)) return;
+    const std::string_view kind = dev.kind();
+    if (kind == "bjt") {
+      a.transistors += 1;
+    } else if (kind == "bjt_multi_emitter") {
+      a.transistors += 1;
+      a.extra_emitters +=
+          static_cast<const devices::MultiEmitterBjt&>(dev).num_emitters() - 1;
+    } else if (kind == "resistor") {
+      a.resistors += 1;
+    } else if (kind == "capacitor") {
+      a.capacitors += 1;
+    }
+  });
+  return a;
+}
+
+}  // namespace cmldft::core

@@ -1,0 +1,58 @@
+// Area accounting for the DFT variants (paper §6.5, Fig. 15) and the prior
+// art baseline (Menon's per-gate XOR checker [4]).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace cmldft::core {
+
+/// Device counts used as an area proxy. `emitters` counts emitter stripes:
+/// a multi-emitter transistor adds area per extra emitter but saves the
+/// full collector/base structure of a second transistor.
+struct AreaCount {
+  int transistors = 0;
+  int extra_emitters = 0;
+  int resistors = 0;
+  int capacitors = 0;
+
+  /// Normalized area units: transistor = 1.0, extra emitter = 0.3,
+  /// resistor = 0.4, capacitor = 2.0 (the 10 pF detector capacitor is large
+  /// compared to a minimum transistor).
+  double Units() const {
+    return transistors + 0.3 * extra_emitters + 0.4 * resistors +
+           2.0 * capacitors;
+  }
+
+  AreaCount& operator+=(const AreaCount& other) {
+    transistors += other.transistors;
+    extra_emitters += other.extra_emitters;
+    resistors += other.resistors;
+    capacitors += other.capacitors;
+    return *this;
+  }
+};
+
+/// Reference CML buffer cell (Fig. 1): Q1,Q2,Q3 + RC1,RC2,RE.
+AreaCount CmlBufferArea();
+
+/// Per-monitored-gate detector cost of each variant.
+/// For variant 3 the shared load+comparator is amortized over
+/// `gates_per_load` gates (paper: up to 45).
+AreaCount Variant1Area(bool resistor_load = false);
+AreaCount Variant2Area(bool multi_emitter = false);
+AreaCount Variant3PerGateArea(bool multi_emitter = false);
+AreaCount Variant3SharedArea();
+double Variant3AmortizedUnits(int gates_per_load, bool multi_emitter = false);
+
+/// Prior art: Menon's like-fault XOR checker — one CML XOR gate monitoring
+/// each circuit gate (very high overhead per the paper's introduction).
+AreaCount MenonXorArea();
+
+/// Count devices in a built netlist whose name starts with `prefix`
+/// (verifies the closed-form counts against real constructions).
+AreaCount CountNetlistArea(const netlist::Netlist& netlist,
+                           const std::string& prefix);
+
+}  // namespace cmldft::core

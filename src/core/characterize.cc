@@ -1,0 +1,133 @@
+#include "core/characterize.h"
+
+#include <memory>
+#include <vector>
+
+#include "cml/builder.h"
+#include "defects/defect.h"
+#include "devices/sources.h"
+#include "sim/dc.h"
+#include "util/strings.h"
+
+namespace cmldft::core {
+
+namespace {
+// Force the vtest rail to a DC value (DC analyses use t=0 waveform values,
+// so the transient-entry PWL from SetTestMode is not appropriate here).
+util::Status SetVtestDc(netlist::Netlist& nl, double value) {
+  netlist::Device* dev = nl.FindDevice("Vvtest");
+  if (dev == nullptr || dev->kind() != "vsource") {
+    return util::Status::NotFound("netlist has no Vvtest source");
+  }
+  static_cast<devices::VSource*>(dev)->set_waveform(
+      devices::Waveform::Dc(value));
+  return util::Status::Ok();
+}
+}  // namespace
+
+util::StatusOr<Hysteresis> MeasureComparatorHysteresis(
+    const DetectorOptions& options, double vtest, double step) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  DetectorBuilder det(cells, options);
+  SharedLoad load = det.AddSharedLoad("det");
+  CMLDFT_RETURN_IF_ERROR(SetVtestDc(nl, vtest));
+  // Ideal source driving the shared vout bus.
+  const netlist::NodeId vout_node = nl.FindNode(load.vout_name);
+  nl.AddDevice(std::make_unique<devices::VSource>(
+      "Vsweep", vout_node, netlist::kGroundNode,
+      devices::Waveform::Dc(tech.vgnd)));
+
+  // Up sweep then down sweep in one continuation run.
+  std::vector<double> values;
+  const double lo = tech.vgnd;
+  for (double v = lo; v <= vtest + 1e-9; v += step) values.push_back(v);
+  const size_t up_count = values.size();
+  for (double v = vtest; v >= lo - 1e-9; v -= step) values.push_back(v);
+
+  CMLDFT_ASSIGN_OR_RETURN(auto sweep,
+                          sim::DcSweepVSource(nl, "Vsweep", values));
+
+  // The comparator is in the "pass" state when co is within a quarter swing
+  // of vtest (QB off).
+  auto pass_state = [&](const sim::DcResult& r) {
+    return r.V(nl, load.comp_out_name) >
+           vtest - 0.25 * options.comparator_tail * options.comparator_rc;
+  };
+
+  Hysteresis h;
+  bool found_up = false, found_down = false;
+  for (size_t i = 1; i < up_count; ++i) {
+    if (!pass_state(sweep[i - 1].result) && pass_state(sweep[i].result)) {
+      h.trip_up = sweep[i].sweep_value;
+      h.vfb_fail = sweep[i - 1].result.V(nl, load.vfb_name);
+      found_up = true;
+      break;
+    }
+  }
+  for (size_t i = up_count + 1; i < sweep.size(); ++i) {
+    if (pass_state(sweep[i - 1].result) && !pass_state(sweep[i].result)) {
+      h.trip_down = sweep[i].sweep_value;
+      h.vfb_pass = sweep[i - 1].result.V(nl, load.vfb_name);
+      found_down = true;
+      break;
+    }
+  }
+  if (!found_up || !found_down) {
+    return util::Status::Internal(util::StrPrintf(
+        "hysteresis not found (up=%d down=%d) - comparator may be stuck",
+        found_up, found_down));
+  }
+  return h;
+}
+
+util::StatusOr<LoadSharingPoint> MeasureLoadSharing(
+    int num_gates, const DetectorOptions& options, double vtest,
+    double pipe_on_gate0) {
+  if (num_gates < 1) {
+    return util::Status::InvalidArgument("num_gates must be >= 1");
+  }
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  // Static chain: DC input, every stage output tapped onto one shared load.
+  const cml::DiffPort in = cells.AddDifferentialDc("va", true);
+  const auto outs = cells.AddBufferChain("x", in, num_gates);
+  DetectorBuilder det(cells, options);
+  SharedLoad load = det.AddSharedLoad("det");
+  for (int i = 0; i < num_gates; ++i) {
+    det.AttachTap(load, util::StrPrintf("tap%d", i),
+                  outs[static_cast<size_t>(i)]);
+  }
+  netlist::Netlist target = nl;
+  if (pipe_on_gate0 > 0.0) {
+    defects::Defect d;
+    d.type = defects::DefectType::kTransistorPipe;
+    d.device = "x0.q3";
+    d.terminal_a = 0;
+    d.terminal_b = 2;
+    d.resistance = pipe_on_gate0;
+    CMLDFT_RETURN_IF_ERROR(defects::InjectDefect(target, d));
+  }
+  // Enter test mode by DC continuation: sweep vtest from vgnd to `vtest`
+  // so the comparator follows the physical branch, exactly like the ramped
+  // transient entry.
+  std::vector<double> ramp;
+  for (double v = tech.vgnd; v < vtest; v += 0.05) ramp.push_back(v);
+  ramp.push_back(vtest);
+  CMLDFT_ASSIGN_OR_RETURN(auto sweep,
+                          sim::DcSweepVSource(target, "Vvtest", ramp));
+  const sim::DcResult& final_point = sweep.back().result;
+
+  LoadSharingPoint point;
+  point.num_gates = num_gates;
+  point.vout = final_point.V(target, load.vout_name);
+  point.vfb = final_point.V(target, load.vfb_name);
+  point.comp_out = final_point.V(target, load.comp_out_name);
+  point.flagged =
+      point.comp_out < vtest - 0.25 * options.comparator_tail * options.comparator_rc;
+  return point;
+}
+
+}  // namespace cmldft::core

@@ -1,0 +1,41 @@
+// DC characterization of the variant-3 detector: comparator hysteresis
+// (Fig. 12) and load-sharing response (Fig. 14). These are library-level
+// procedures so users can re-characterize after changing DetectorOptions.
+#pragma once
+
+#include "core/detector.h"
+#include "util/status.h"
+
+namespace cmldft::core {
+
+/// Comparator trip points measured by sweeping an ideal source on the
+/// shared vout node up and then down (continuation follows each hysteresis
+/// branch). All voltages in volts.
+struct Hysteresis {
+  double trip_up = 0.0;    ///< vout rising: comparator returns to pass
+  double trip_down = 0.0;  ///< vout falling: comparator declares fault
+  double vfb_pass = 0.0;   ///< feedback level in the pass state
+  double vfb_fail = 0.0;   ///< feedback level in the fault state
+  double width() const { return trip_up - trip_down; }
+};
+
+/// Sweep resolution `step` defaults to 2 mV.
+util::StatusOr<Hysteresis> MeasureComparatorHysteresis(
+    const DetectorOptions& options = {}, double vtest = 3.7,
+    double step = 0.002);
+
+/// One point of the Fig. 14 load-sharing curve: N fault-free buffers (held
+/// at static inputs) sharing one load circuit + comparator, vtest ramped to
+/// test mode by DC continuation. Optionally gate 0 carries a C-E pipe.
+struct LoadSharingPoint {
+  int num_gates = 0;
+  double vout = 0.0;
+  double vfb = 0.0;
+  double comp_out = 0.0;
+  bool flagged = false;  ///< comparator in the fault state
+};
+util::StatusOr<LoadSharingPoint> MeasureLoadSharing(
+    int num_gates, const DetectorOptions& options = {}, double vtest = 3.7,
+    double pipe_on_gate0 = 0.0);
+
+}  // namespace cmldft::core

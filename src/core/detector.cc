@@ -1,0 +1,191 @@
+#include "core/detector.h"
+
+#include <memory>
+
+#include "devices/passive.h"
+#include "devices/sources.h"
+
+namespace cmldft::core {
+
+using cml::DiffPort;
+using devices::Bjt;
+using devices::Capacitor;
+using devices::MultiEmitterBjt;
+using devices::Resistor;
+using devices::VSource;
+using devices::Waveform;
+using netlist::kGroundNode;
+using netlist::NodeId;
+
+DetectorBuilder::DetectorBuilder(cml::CellBuilder& cells,
+                                 const DetectorOptions& options)
+    : cells_(&cells), options_(options) {}
+
+NodeId DetectorBuilder::vtest() {
+  if (vtest_ == netlist::kInvalidNode) {
+    netlist::Netlist& nl = cells_->netlist();
+    vtest_ = nl.AddNode("vtest");
+    if (nl.FindDevice("Vvtest") == nullptr) {
+      // Created in normal mode: vtest = vgnd (detectors quiescent).
+      nl.AddDevice(std::make_unique<VSource>(
+          "Vvtest", vtest_, kGroundNode, Waveform::Dc(cells_->tech().vgnd)));
+    }
+  }
+  return vtest_;
+}
+
+std::string DetectorBuilder::AttachVariant1(const std::string& name,
+                                            const DiffPort& out) {
+  netlist::Netlist& nl = cells_->netlist();
+  const NodeId vout = nl.AddNode(name + ".vout");
+  // Q4: conducts from vout into opb when op - opb exceeds its VBE turn-on.
+  nl.AddDevice(std::make_unique<Bjt>(name + ".q4", vout, out.p, out.n,
+                                     options_.npn));
+  if (options_.load_kind == DetectorOptions::LoadKind::kDiode) {
+    // Q5 diode-connected: non-linear pull-up from vgnd — high dynamic
+    // resistance at low current, low at high current (paper §6.1). The
+    // bleed resistor keeps the otherwise-floating vout defined at vgnd in
+    // the fault-free state; it is far too weak to affect detection.
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q5", cells_->vgnd(),
+                                       cells_->vgnd(), vout, options_.npn));
+    nl.AddDevice(std::make_unique<Resistor>(name + ".rbleed", cells_->vgnd(),
+                                            vout, options_.bleed_resistor));
+  } else {
+    nl.AddDevice(std::make_unique<Resistor>(name + ".r5", cells_->vgnd(), vout,
+                                            options_.load_resistor));
+  }
+  nl.AddDevice(std::make_unique<Capacitor>(name + ".c7", vout, kGroundNode,
+                                           options_.load_cap));
+  return name + ".vout";
+}
+
+std::string DetectorBuilder::AttachVariant2(const std::string& name,
+                                            const DiffPort& out) {
+  netlist::Netlist& nl = cells_->netlist();
+  const NodeId vout = nl.AddNode(name + ".vout");
+  const NodeId vt = vtest();
+  if (options_.multi_emitter) {
+    nl.AddDevice(std::make_unique<MultiEmitterBjt>(
+        name + ".qme", vout, vt, std::vector<NodeId>{out.p, out.n},
+        options_.npn));
+  } else {
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q4", vout, vt, out.p,
+                                       options_.npn));
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q5", vout, vt, out.n,
+                                       options_.npn));
+  }
+  if (options_.load_kind == DetectorOptions::LoadKind::kDiode) {
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q6", cells_->vgnd(),
+                                       cells_->vgnd(), vout, options_.npn));
+    nl.AddDevice(std::make_unique<Resistor>(name + ".rbleed", cells_->vgnd(),
+                                            vout, options_.bleed_resistor));
+  } else {
+    nl.AddDevice(std::make_unique<Resistor>(name + ".r6", cells_->vgnd(), vout,
+                                            options_.load_resistor));
+  }
+  nl.AddDevice(std::make_unique<Capacitor>(name + ".c7", vout, kGroundNode,
+                                           options_.load_cap));
+  return name + ".vout";
+}
+
+SharedLoad DetectorBuilder::AddSharedLoad(const std::string& name) {
+  netlist::Netlist& nl = cells_->netlist();
+  const cml::CmlTechnology& tech = cells_->tech();
+  const NodeId vt = vtest();
+
+  SharedLoad load;
+  load.vout = nl.AddNode(name + ".vout");
+  load.vout_name = name + ".vout";
+  load.vfb_name = name + ".vfb";
+  load.comp_out_name = name + ".co";
+  load.flag_name = name + ".flag";
+
+  // Load circuit (Fig. 11): diode Q0 from vtest, bleed resistor R0 in
+  // parallel (reduces the drop caused by the comparator input bias
+  // current), storage capacitor C0.
+  nl.AddDevice(std::make_unique<Bjt>(name + ".q0", vt, vt, load.vout,
+                                     options_.npn));
+  nl.AddDevice(std::make_unique<Resistor>(name + ".r0", vt, load.vout,
+                                          options_.r0));
+  nl.AddDevice(std::make_unique<Capacitor>(name + ".c0", load.vout, kGroundNode,
+                                           options_.load_cap));
+
+  // Comparator: CML differential pair supplied from vtest so its output
+  // levels are comparable with vout. QA's collector is vfb, fed back as the
+  // comparison reference (positive feedback -> hysteresis, Fig. 12).
+  const NodeId vfb = nl.AddNode(load.vfb_name);
+  const NodeId co = nl.AddNode(load.comp_out_name);
+  const NodeId ec = nl.AddNode(name + ".ec");
+  const NodeId vte = nl.AddNode(name + ".vte");
+  devices::BjtParams comp_npn = options_.npn;
+  comp_npn.bf = options_.comparator_beta;
+  nl.AddDevice(std::make_unique<Bjt>(name + ".qa", vfb, load.vout, ec, comp_npn));
+  nl.AddDevice(std::make_unique<Bjt>(name + ".qb", co, vfb, ec, comp_npn));
+  nl.AddDevice(std::make_unique<Resistor>(name + ".rca", vt, vfb,
+                                          options_.comparator_rc));
+  nl.AddDevice(std::make_unique<Resistor>(name + ".rcb", vt, co,
+                                          options_.comparator_rc));
+  // Feedback bleed: keeps vfb-high below the fault-free vout so the
+  // comparator can always recover from a transient wrong state.
+  nl.AddDevice(std::make_unique<Resistor>(name + ".rfb", vfb, kGroundNode,
+                                          options_.comparator_fb_bleed));
+  // Tail sized for comparator_tail from the shared vbias rail.
+  const double vbe_tail = tech.VbeAt(options_.comparator_tail);
+  const double re_comp =
+      (tech.bias_voltage() - vbe_tail) / options_.comparator_tail;
+  nl.AddDevice(std::make_unique<Bjt>(name + ".qt", ec, cells_->vbias(), vte,
+                                     options_.npn));
+  nl.AddDevice(std::make_unique<Resistor>(name + ".ret", vte, kGroundNode,
+                                          re_comp));
+
+  // Level shifter back toward CML levels: emitter follower off the
+  // comparator output. flag high = fault-free.
+  const NodeId flag = nl.AddNode(load.flag_name);
+  nl.AddDevice(std::make_unique<Bjt>(name + ".qls", cells_->vgnd(), co, flag,
+                                     options_.npn));
+  nl.AddDevice(std::make_unique<Resistor>(name + ".rls", flag, kGroundNode,
+                                          tech.level_shift_pulldown));
+  return load;
+}
+
+void DetectorBuilder::AttachTap(SharedLoad& load, const std::string& name,
+                                const DiffPort& out) {
+  netlist::Netlist& nl = cells_->netlist();
+  const NodeId vt = vtest();
+  if (options_.multi_emitter) {
+    nl.AddDevice(std::make_unique<MultiEmitterBjt>(
+        name + ".qme", load.vout, vt, std::vector<NodeId>{out.p, out.n},
+        options_.npn));
+  } else {
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q4", load.vout, vt, out.p,
+                                       options_.npn));
+    nl.AddDevice(std::make_unique<Bjt>(name + ".q5", load.vout, vt, out.n,
+                                       options_.npn));
+  }
+  ++load.num_taps;
+}
+
+SharedLoad DetectorBuilder::AttachVariant3(const std::string& name,
+                                           const DiffPort& out) {
+  SharedLoad load = AddSharedLoad(name);
+  AttachTap(load, name + ".tap", out);
+  return load;
+}
+
+util::Status SetTestMode(netlist::Netlist& netlist, bool test_mode,
+                         double vtest_value, double vgnd_value, double t_enter,
+                         double t_ramp) {
+  netlist::Device* dev = netlist.FindDevice("Vvtest");
+  if (dev == nullptr || dev->kind() != "vsource") {
+    return util::Status::NotFound("netlist has no Vvtest source");
+  }
+  if (test_mode) {
+    static_cast<VSource*>(dev)->set_waveform(Waveform::Pwl(
+        {{0.0, vgnd_value}, {t_enter, vgnd_value}, {t_enter + t_ramp, vtest_value}}));
+  } else {
+    static_cast<VSource*>(dev)->set_waveform(Waveform::Dc(vgnd_value));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace cmldft::core

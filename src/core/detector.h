@@ -1,0 +1,120 @@
+// Built-in output-swing detectors — the paper's contribution (§6).
+//
+// Variant 1 (single-sided, Fig. 6): one transistor across the output pair
+//   (base = op, emitter = opb) with a diode-capacitor (or
+//   resistor-capacitor) load; pulls its vout low when |op - opb| exceeds
+//   roughly one detector VBE.
+// Variant 2 (double-sided with controlled bias, Fig. 9): two transistors
+//   with emitters on op/opb and bases on a test-mode supply vtest; raising
+//   vtest in test mode lowers the detectable excursion.
+// Variant 3 (Fig. 11): variant 2 plus a load circuit pulled up to vtest
+//   with a parallel bleed resistor R0, a CML comparator with positive
+//   feedback (vfb) and a level shifter producing a logic flag.
+// Load sharing (Fig. 13): many gate-output taps bus their collectors onto
+//   one shared load + comparator.
+// Area optimization (Fig. 15): the two tap transistors merged into one
+//   multi-emitter transistor.
+#pragma once
+
+#include <string>
+
+#include "cml/builder.h"
+#include "devices/bjt.h"
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace cmldft::core {
+
+struct DetectorOptions {
+  enum class LoadKind { kDiode, kResistor };
+  /// Variant-1/2 load element (paper §6.1 studies both).
+  LoadKind load_kind = LoadKind::kDiode;
+  /// Load capacitance C7/C0 [F] (paper uses 10 pF and 1 pF).
+  double load_cap = 10e-12;
+  /// Resistor-load value when load_kind = kResistor (paper: 160 kOhm).
+  double load_resistor = 160e3;
+  /// Weak bleed across the diode load keeping the high-impedance vout node
+  /// defined at vgnd in the fault-free state [Ohm].
+  double bleed_resistor = 10e6;
+  /// Variant-3 bleed resistor R0 [Ohm] (paper: 40 kOhm).
+  double r0 = 40e3;
+  /// vtest in test mode [V] (paper: 3.7 V for a VBE = 900 mV technology).
+  double vtest_test_mode = 3.7;
+  /// Use a single multi-emitter transistor per tap (variants 2/3, §6.5).
+  bool multi_emitter = false;
+  /// Detector transistor parameters (defaults = logic NPN).
+  devices::BjtParams npn;
+  /// Variant-3 comparator tail current [A]; lower than the logic tail so
+  /// the comparator input bias current loading vout stays in the few-uA
+  /// range the paper reports.
+  double comparator_tail = 0.2e-3;
+  /// Variant-3 comparator collector load [Ohm].
+  double comparator_rc = 650.0;
+  /// Bleed from vfb to ground [Ohm]. Sizes the feedback swing so that
+  /// vfb-high stays *below* the fault-free vout — the guard against the
+  /// positive-feedback deadlock the paper warns about in §6.3, and what
+  /// makes the hysteresis window narrow (Fig. 12: ~3.54 V / 3.57 V).
+  double comparator_fb_bleed = 26e3;
+  /// Comparator transistors use a higher beta so their input bias current
+  /// (which loads vout through R0 — the §6.3 challenge) stays low.
+  double comparator_beta = 300.0;
+};
+
+/// Handle to a variant-3 shared load + comparator. `vout` is the shared
+/// detector bus; `flag` is the level-shifted logic output (high = pass,
+/// low = fault detected).
+struct SharedLoad {
+  netlist::NodeId vout = netlist::kInvalidNode;
+  std::string vout_name;
+  std::string vfb_name;
+  std::string comp_out_name;
+  std::string flag_name;
+  int num_taps = 0;
+};
+
+/// Builds detectors into the same netlist as a CellBuilder. The vtest rail
+/// ("vtest", source "Vvtest") is created on first use in *normal* mode
+/// (vtest = vgnd); call SetTestMode to switch.
+class DetectorBuilder {
+ public:
+  DetectorBuilder(cml::CellBuilder& cells, const DetectorOptions& options = {});
+
+  const DetectorOptions& options() const { return options_; }
+  netlist::NodeId vtest();
+
+  /// Variant 1 on one output pair. Returns the detector output node name
+  /// ("<name>.vout").
+  std::string AttachVariant1(const std::string& name, const cml::DiffPort& out);
+
+  /// Variant 2 on one output pair (its own diode-cap load). Honors
+  /// options().multi_emitter.
+  std::string AttachVariant2(const std::string& name, const cml::DiffPort& out);
+
+  /// Variant 3 shared load + comparator, initially with no taps.
+  SharedLoad AddSharedLoad(const std::string& name);
+  /// Bus one gate-output pair onto a shared load (the Fig. 13 tap).
+  void AttachTap(SharedLoad& load, const std::string& name,
+                 const cml::DiffPort& out);
+  /// Convenience: variant 3 monitoring a single pair.
+  SharedLoad AttachVariant3(const std::string& name, const cml::DiffPort& out);
+
+ private:
+  cml::CellBuilder* cells_;
+  DetectorOptions options_;
+  netlist::NodeId vtest_ = netlist::kInvalidNode;
+};
+
+/// Switch the vtest rail between normal (vgnd) and test mode. Works on any
+/// netlist containing a "Vvtest" source (including faulty copies).
+///
+/// Entering test mode is modeled as the tester raising vtest at run time:
+/// vtest sits at vgnd until `t_enter`, then ramps to `vtest_value` over
+/// `t_ramp`. (A DC test mode would instead settle at the microsecond-scale
+/// leakage equilibrium of the high-impedance detector node — not what a
+/// tester observes in its measurement window; the paper's Fig. 7 transient
+/// likewise starts from the test-mode entry.)
+util::Status SetTestMode(netlist::Netlist& netlist, bool test_mode,
+                         double vtest_value, double vgnd_value = 3.3,
+                         double t_enter = 1e-9, double t_ramp = 1e-9);
+
+}  // namespace cmldft::core

@@ -1,0 +1,59 @@
+#include "core/diagnosis.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cmldft::core {
+
+Localization LocalizeFault(const ScreeningReport& report,
+                           const DefectOutcome& outcome) {
+  Localization loc;
+  const size_t n = outcome.detector_vouts.size();
+  if (n == 0 || report.reference_detector_vouts.size() != n) return loc;
+  double best = 0.0, second = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double drop =
+        report.reference_detector_vouts[i] - outcome.detector_vouts[i];
+    if (drop > best) {
+      second = best;
+      best = drop;
+      loc.gate_index = static_cast<int>(i);
+    } else if (drop > second) {
+      second = drop;
+    }
+  }
+  loc.drop = best;
+  loc.margin = best - second;
+  return loc;
+}
+
+namespace {
+// Chain cells are named "x<i>"; a defect's host gate index, or -1 when the
+// defect has no single gate site (bridges name nodes, not devices).
+int GateIndexOfDefect(const defects::Defect& d) {
+  const std::string& name =
+      d.type == defects::DefectType::kBridge ? d.node_a : d.device;
+  if (name.size() < 2 || name[0] != 'x') return -1;
+  char* end = nullptr;
+  const long idx = std::strtol(name.c_str() + 1, &end, 10);
+  if (end == name.c_str() + 1 || (*end != '.' && *end != '\0')) return -1;
+  return static_cast<int>(idx);
+}
+}  // namespace
+
+LocalizationSummary EvaluateLocalization(const ScreeningReport& report) {
+  LocalizationSummary summary;
+  for (const auto& outcome : report.outcomes) {
+    if (!outcome.amplitude_detected) continue;
+    const int site = GateIndexOfDefect(outcome.defect);
+    if (site < 0) continue;
+    const Localization loc = LocalizeFault(report, outcome);
+    if (loc.gate_index < 0) continue;
+    ++summary.localizable;
+    if (loc.gate_index == site) ++summary.correct;
+  }
+  return summary;
+}
+
+}  // namespace cmldft::core

@@ -1,0 +1,45 @@
+// Fault localization from detector signatures. Because the paper's
+// detectors sit on *every* gate output ("the testing is performed on all
+// gate outputs"), a fault does not just flag the die — the identity of the
+// detector that fired localizes the defective gate. This module
+// operationalizes that: the detector whose vout dropped furthest below its
+// fault-free baseline names the faulty gate.
+#pragma once
+
+#include <string>
+
+#include "core/screening.h"
+#include "util/status.h"
+
+namespace cmldft::core {
+
+struct Localization {
+  /// Index of the implicated monitored gate (into the screening chain).
+  int gate_index = -1;
+  /// Drop of that detector below its fault-free baseline [V].
+  double drop = 0.0;
+  /// Margin over the second-largest drop [V] (confidence proxy).
+  double margin = 0.0;
+};
+
+/// Localize one screened defect from its per-detector signature. Requires
+/// the outcome to carry detector_vouts (screenings always record them).
+Localization LocalizeFault(const ScreeningReport& report,
+                           const DefectOutcome& outcome);
+
+struct LocalizationSummary {
+  int localizable = 0;  ///< amplitude-detected defects with a known site
+  int correct = 0;      ///< detector site matched the defect's gate
+  double Accuracy() const {
+    return localizable == 0 ? 0.0
+                            : static_cast<double>(correct) / localizable;
+  }
+};
+
+/// Evaluate localization over a whole screening report: for every defect
+/// the detectors caught, check whether the implicated gate matches the
+/// defect's host cell (chain cells are named "x<i>"; defects on stimulus
+/// or bridges without a single site are skipped).
+LocalizationSummary EvaluateLocalization(const ScreeningReport& report);
+
+}  // namespace cmldft::core

@@ -1,0 +1,82 @@
+#include "core/insertion.h"
+
+#include <algorithm>
+
+#include "core/area.h"
+#include "util/strings.h"
+
+namespace cmldft::core {
+
+util::StatusOr<InsertionReport> InsertDft(cml::CellBuilder& cells,
+                                          const InsertionOptions& options) {
+  if (options.max_gates_per_load < 1) {
+    return util::Status::InvalidArgument("max_gates_per_load must be >= 1");
+  }
+  netlist::Netlist& nl = cells.netlist();
+
+  // Discover monitored pairs: every node "<cell>.op" with a matching
+  // "<cell>.opb". Deterministic order (node id order).
+  struct Pair {
+    std::string cell;
+    cml::DiffPort port;
+  };
+  std::vector<Pair> pairs;
+  for (netlist::NodeId n = 1; n < nl.num_nodes(); ++n) {
+    const std::string& name = nl.NodeName(n);
+    if (name.size() <= options.true_suffix.size() ||
+        name.substr(name.size() - options.true_suffix.size()) !=
+            options.true_suffix) {
+      continue;
+    }
+    const std::string cell =
+        name.substr(0, name.size() - options.true_suffix.size());
+    bool excluded = false;
+    for (const auto& prefix : options.exclude_cell_prefixes) {
+      if (util::StartsWith(cell, prefix)) excluded = true;
+    }
+    for (const auto& suffix : options.exclude_cell_suffixes) {
+      if (cell.size() >= suffix.size() &&
+          cell.compare(cell.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        excluded = true;
+      }
+    }
+    if (excluded) continue;
+    const std::string comp = cell + options.complement_suffix;
+    const netlist::NodeId nc = nl.FindNode(comp);
+    if (nc == netlist::kInvalidNode) continue;
+    pairs.push_back({cell, cml::DiffPort{n, nc, name, comp}});
+  }
+  if (pairs.empty()) {
+    return util::Status::NotFound("no CML output pairs found to monitor");
+  }
+
+  const AreaCount before = CountNetlistArea(nl, "dft");
+  DetectorBuilder det(cells, options.detector);
+  InsertionReport report;
+  report.monitored_gates = static_cast<int>(pairs.size());
+  for (size_t start = 0; start < pairs.size();
+       start += static_cast<size_t>(options.max_gates_per_load)) {
+    const size_t end = std::min(
+        pairs.size(), start + static_cast<size_t>(options.max_gates_per_load));
+    SharedLoad load =
+        det.AddSharedLoad(util::StrPrintf("dft%d", report.shared_loads));
+    std::vector<std::string> cluster;
+    for (size_t i = start; i < end; ++i) {
+      det.AttachTap(load,
+                    util::StrPrintf("dft%d.tap%zu", report.shared_loads,
+                                    i - start),
+                    pairs[i].port);
+      cluster.push_back(pairs[i].cell);
+    }
+    report.loads.push_back(load);
+    report.clusters.push_back(std::move(cluster));
+    ++report.shared_loads;
+  }
+  const AreaCount after = CountNetlistArea(nl, "dft");
+  report.added_transistors = after.transistors - before.transistors;
+  report.added_resistors = after.resistors - before.resistors;
+  report.added_capacitors = after.capacitors - before.capacitors;
+  return report;
+}
+
+}  // namespace cmldft::core

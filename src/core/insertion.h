@@ -1,0 +1,50 @@
+// Automatic DFT insertion: find every CML gate output pair in a netlist,
+// group them into shared-load clusters of at most `max_gates_per_load`
+// (the paper's 45-gate limit), and attach variant-3 detectors. This is the
+// flow a user runs on a finished design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cml/builder.h"
+#include "core/detector.h"
+#include "util/status.h"
+
+namespace cmldft::core {
+
+struct InsertionOptions {
+  DetectorOptions detector;
+  /// Cluster size limit (paper Fig. 14: 45 is the safe maximum).
+  int max_gates_per_load = 45;
+  /// Only monitor pairs whose names end with these suffixes; the default
+  /// matches the cell library's "<cell>.op" / "<cell>.opb" convention.
+  std::string true_suffix = ".op";
+  std::string complement_suffix = ".opb";
+  /// Skip cells whose name starts with any of these prefixes.
+  std::vector<std::string> exclude_cell_prefixes;
+  /// Skip cells whose name ends with any of these suffixes. Level shifters
+  /// (".ls") are excluded by default: their outputs sit one VBE below the
+  /// CML band, so a vtest-biased tap would conduct permanently and wreck
+  /// the bias point — and they are wiring, not logic gates.
+  std::vector<std::string> exclude_cell_suffixes = {".ls"};
+};
+
+struct InsertionReport {
+  int monitored_gates = 0;
+  int shared_loads = 0;
+  std::vector<SharedLoad> loads;
+  /// Names of the monitored cells, cluster by cluster.
+  std::vector<std::vector<std::string>> clusters;
+  /// Added detector device count (for overhead accounting).
+  int added_transistors = 0;
+  int added_resistors = 0;
+  int added_capacitors = 0;
+};
+
+/// Scan `cells.netlist()` for output pairs and instrument them all.
+/// Detectors are named "dft<k>" (loads) and "dft<k>.tap<i>".
+util::StatusOr<InsertionReport> InsertDft(cml::CellBuilder& cells,
+                                          const InsertionOptions& options = {});
+
+}  // namespace cmldft::core

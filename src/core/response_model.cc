@@ -1,0 +1,53 @@
+#include "core/response_model.h"
+
+#include <cmath>
+
+#include "devices/bjt.h"
+#include "util/units.h"
+
+namespace cmldft::core {
+
+ResponsePrediction PredictVariant2Response(const cml::CmlTechnology& tech,
+                                           const DetectorOptions& options,
+                                           double amplitude, double duty,
+                                           double window, double temp_k) {
+  ResponsePrediction p;
+  const double vt = util::ThermalVoltage(temp_k);
+  const double v_low = tech.vgnd - amplitude;
+  const double vbe = options.vtest_test_mode - v_low;
+  const double is_t = devices::SaturationCurrentAt(options.npn, temp_k);
+  p.tap_current = duty * is_t * std::exp(vbe / vt);
+  // The collector stops discharging roughly when it meets the low output
+  // level (the tap saturates); a ~50 mV saturation margin matches what the
+  // transient simulations settle to.
+  p.v_floor = v_low + 0.05;
+  const double depth = tech.vgnd - p.v_floor;
+  p.t_stability =
+      p.tap_current > 0 ? options.load_cap * depth / p.tap_current : 1e9;
+  // Detectable within the window: the vout drop reaches the 100 mV flag
+  // criterion before the window closes.
+  const double drop_at_window =
+      std::min(depth, p.tap_current * window / options.load_cap);
+  p.detectable = drop_at_window > 0.1;
+  return p;
+}
+
+double PredictDetectionThreshold(const cml::CmlTechnology& tech,
+                                 const DetectorOptions& options, double window,
+                                 double duty, double temp_k) {
+  // Bisect the amplitude axis; the predicate is monotone in amplitude.
+  double lo = tech.swing;  // the normal swing must NOT be detectable
+  double hi = 1.5;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (PredictVariant2Response(tech, options, mid, duty, window, temp_k)
+            .detectable) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace cmldft::core

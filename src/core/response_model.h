@@ -1,0 +1,50 @@
+// First-order analytic model of the variant-2 detector response —
+// quantifies *why* the paper's Figs. 8/10 curves look the way they do and
+// lets a user size the load capacitor / test window without simulating.
+//
+// During a symmetric amplitude fault (e.g. a current-source pipe) one of
+// the two monitored outputs is low at any moment, so one tap transistor
+// conducts continuously with
+//     I_tap ~ IS_det(T) * exp( (vtest - (vgnd - A)) / VT )
+// where A is the single-ended excursion amplitude. The load capacitor
+// therefore discharges at ~I_tap/C until the collector reaches the low
+// output level (saturation), giving
+//     v_floor ~ vgnd - A          and
+//     t_stability ~ C * (vgnd - v_floor) / I_tap.
+// The exponential dependence of I_tap on A explains both the sharp
+// detection threshold and the rapid growth of t_stability with frequency
+// (A shrinks as the gate's RC filters the excursion).
+#pragma once
+
+#include "cml/technology.h"
+#include "core/detector.h"
+
+namespace cmldft::core {
+
+struct ResponsePrediction {
+  double tap_current = 0.0;   ///< conducting-tap current [A]
+  double v_floor = 0.0;       ///< stable detector level [V]
+  double t_stability = 0.0;   ///< time to reach the stable level [s]
+  bool detectable = false;    ///< fires within `window` (see below)
+};
+
+/// Predict the variant-2 response to a symmetric fault of single-ended
+/// amplitude `amplitude` (normal swing counts as amplitude = swing).
+/// `duty` is the fraction of time some tap sees the low excursion (1.0 for
+/// symmetric faults like pipes, 0.5 when only one output is affected and
+/// toggling asserts it half the cycles — §6.6). `window` is the test time
+/// used for the detectability verdict.
+ResponsePrediction PredictVariant2Response(const cml::CmlTechnology& tech,
+                                           const DetectorOptions& options,
+                                           double amplitude, double duty = 1.0,
+                                           double window = 250e-9,
+                                           double temp_k = 300.15);
+
+/// Smallest amplitude the model predicts detectable within `window` —
+/// the analytic counterpart of the Fig. 10 threshold scan.
+double PredictDetectionThreshold(const cml::CmlTechnology& tech,
+                                 const DetectorOptions& options,
+                                 double window = 250e-9, double duty = 1.0,
+                                 double temp_k = 300.15);
+
+}  // namespace cmldft::core

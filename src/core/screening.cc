@@ -1,0 +1,210 @@
+#include "core/screening.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cml/builder.h"
+#include "sim/transient.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "waveform/measure.h"
+
+namespace cmldft::core {
+
+namespace {
+
+using cml::CellBuilder;
+using cml::CmlTechnology;
+using cml::DiffPort;
+
+struct Instrumented {
+  netlist::Netlist nl;
+  DiffPort input;
+  std::vector<DiffPort> stage_outs;
+  std::vector<std::string> detector_vouts;
+};
+
+Instrumented BuildInstrumentedChain(const ScreeningOptions& opt) {
+  Instrumented out;
+  CmlTechnology tech;
+  CellBuilder cells(out.nl, tech);
+  out.input = cells.AddDifferentialClock("va", opt.frequency);
+  out.stage_outs = cells.AddBufferChain("x", out.input, opt.chain_length);
+  DetectorBuilder det(cells, opt.detector);
+  for (int i = 0; i < opt.chain_length; ++i) {
+    out.detector_vouts.push_back(det.AttachVariant2(
+        util::StrPrintf("det%d", i), out.stage_outs[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+struct Measured {
+  bool toggling = false;
+  double primary_swing = 0.0;
+  double median_delay = 0.0;
+  size_t num_crossings = 0;
+  double min_detector_vout = 0.0;
+  std::vector<double> detector_vouts;
+  double max_gate_amplitude = 0.0;
+  double supply_current = 0.0;
+};
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+Measured MeasureRun(const sim::TransientResult& tr, const Instrumented& circ,
+                    const CmlTechnology& tech, double t0, double t1) {
+  Measured m;
+  const DiffPort& primary = circ.stage_outs.back();
+  auto pdiff = tr.Differential(primary.p_name, primary.n_name).Window(t0, t1);
+  m.primary_swing = pdiff.Max() - pdiff.Min();
+  // Delay: fixed-reference crossings of the single-ended primary output vs
+  // the input, as the paper's Table 1 measures.
+  auto in_cross = waveform::Crossings(tr.Voltage(circ.input.p_name),
+                                      tech.v_mid(), waveform::Edge::kRising);
+  auto out_cross = waveform::Crossings(tr.Voltage(primary.p_name),
+                                       tech.v_mid(), waveform::Edge::kRising);
+  // Restrict to the measurement window.
+  auto in_window = std::vector<double>{};
+  for (double t : in_cross)
+    if (t >= t0 && t <= t1) in_window.push_back(t);
+  m.num_crossings = 0;
+  for (double t : out_cross)
+    if (t >= t0 && t <= t1) ++m.num_crossings;
+  m.median_delay = Median(waveform::EdgeDelays(in_window, out_cross));
+  m.toggling = m.num_crossings > 0 && pdiff.Max() > 0 && pdiff.Min() < 0;
+
+  m.min_detector_vout = 1e9;
+  for (const auto& v : circ.detector_vouts) {
+    const double vmin = tr.Voltage(v).Window(t0, t1).Min();
+    m.detector_vouts.push_back(vmin);
+    m.min_detector_vout = std::min(m.min_detector_vout, vmin);
+  }
+  for (const auto& port : circ.stage_outs) {
+    auto d = tr.Differential(port.p_name, port.n_name).Window(t0, t1);
+    m.max_gate_amplitude =
+        std::max({m.max_gate_amplitude, std::fabs(d.Max()), std::fabs(d.Min())});
+  }
+  // Iddq-style observation: mean magnitude of the main supply current.
+  auto idd = tr.BranchCurrent("Vvgnd").Window(t0, t1);
+  m.supply_current = std::fabs(idd.Mean());
+  return m;
+}
+
+}  // namespace
+
+std::string_view FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNoEffect: return "no-effect";
+    case FaultClass::kLogicVisible: return "logic";
+    case FaultClass::kDelayVisible: return "delay";
+    case FaultClass::kIddqVisible: return "iddq";
+    case FaultClass::kAmplitudeOnly: return "amplitude-only";
+    case FaultClass::kCatastrophic: return "catastrophic";
+  }
+  return "?";
+}
+
+FaultClass DefectOutcome::Classify() const {
+  if (!converged) return FaultClass::kCatastrophic;
+  if (logic_fail) return FaultClass::kLogicVisible;
+  if (delay_fail) return FaultClass::kDelayVisible;
+  if (iddq_fail) return FaultClass::kIddqVisible;
+  if (amplitude_detected) return FaultClass::kAmplitudeOnly;
+  return FaultClass::kNoEffect;
+}
+
+int ScreeningReport::CountClass(FaultClass c) const {
+  int n = 0;
+  for (const auto& o : outcomes)
+    if (o.Classify() == c) ++n;
+  return n;
+}
+
+double ScreeningReport::ConventionalCoverage() const {
+  if (outcomes.empty()) return 0.0;
+  const int detected = CountClass(FaultClass::kLogicVisible) +
+                       CountClass(FaultClass::kDelayVisible) +
+                       CountClass(FaultClass::kIddqVisible) +
+                       CountClass(FaultClass::kCatastrophic);
+  return static_cast<double>(detected) / total();
+}
+
+double ScreeningReport::CombinedCoverage() const {
+  if (outcomes.empty()) return 0.0;
+  return ConventionalCoverage() +
+         static_cast<double>(CountClass(FaultClass::kAmplitudeOnly)) / total();
+}
+
+util::StatusOr<ScreeningReport> ScreenBufferChain(
+    const ScreeningOptions& options) {
+  CmlTechnology tech;
+  Instrumented circ = BuildInstrumentedChain(options);
+  CMLDFT_RETURN_IF_ERROR(SetTestMode(circ.nl, /*test_mode=*/true,
+                                     options.detector.vtest_test_mode,
+                                     tech.vgnd));
+
+  sim::TransientOptions topts;
+  topts.tstop = options.sim_time;
+  const double t0 = options.sim_time * 0.5;
+  const double t1 = options.sim_time;
+
+  auto ref_run = sim::RunTransient(circ.nl, topts);
+  if (!ref_run.ok()) {
+    return util::Status::Internal("fault-free reference failed to simulate: " +
+                                  ref_run.status().message());
+  }
+  const Measured ref = MeasureRun(*ref_run, circ, tech, t0, t1);
+
+  // Enumerate over the *uninstrumented* device set: detectors and the
+  // fault-injection artifacts are excluded.
+  defects::EnumerationOptions eopt = options.enumeration;
+  eopt.exclude_prefixes.push_back("det");
+  const std::vector<defects::Defect> universe =
+      defects::EnumerateDefects(circ.nl, eopt);
+
+  ScreeningReport report;
+  report.nominal_swing = ref.primary_swing;
+  report.reference_delay = ref.median_delay;
+  report.reference_detector_vout = ref.min_detector_vout;
+  report.reference_supply_current = ref.supply_current;
+  report.reference_detector_vouts = ref.detector_vouts;
+
+  for (const defects::Defect& defect : universe) {
+    DefectOutcome outcome;
+    outcome.defect = defect;
+    auto faulty = defects::WithDefect(circ.nl, defect);
+    if (!faulty.ok()) return faulty.status();
+    auto run = sim::RunTransient(*faulty, topts);
+    if (!run.ok()) {
+      outcome.converged = false;
+      report.outcomes.push_back(std::move(outcome));
+      continue;
+    }
+    outcome.converged = true;
+    const Measured m = MeasureRun(*run, circ, tech, t0, t1);
+    outcome.logic_fail =
+        !m.toggling ||
+        m.primary_swing < options.logic_swing_fraction * ref.primary_swing ||
+        m.num_crossings * 2 < ref.num_crossings;
+    outcome.delay_fail =
+        !outcome.logic_fail &&
+        std::fabs(m.median_delay - ref.median_delay) > options.delay_threshold;
+    outcome.iddq_fail =
+        std::fabs(m.supply_current - ref.supply_current) >
+        options.iddq_fraction * ref.supply_current;
+    outcome.supply_current = m.supply_current;
+    outcome.amplitude_detected =
+        m.min_detector_vout < ref.min_detector_vout - options.detector_drop;
+    outcome.max_gate_amplitude = m.max_gate_amplitude;
+    outcome.min_detector_vout = m.min_detector_vout;
+    outcome.detector_vouts = m.detector_vouts;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace cmldft::core

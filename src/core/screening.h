@@ -1,0 +1,92 @@
+// Defect-universe screening: injects every enumerated defect into a CML
+// buffer chain instrumented with built-in detectors and classifies what
+// catches it — conventional logic (stuck-at) testing at the primary
+// output, delay testing, or the amplitude detectors. This implements the
+// paper's central coverage argument: a class of defects is *only* caught
+// by the amplitude detectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "defects/defect.h"
+#include "sim/options.h"
+#include "util/status.h"
+
+namespace cmldft::core {
+
+enum class FaultClass {
+  kNoEffect,        ///< behaves like the fault-free circuit everywhere
+  kLogicVisible,    ///< wrong/stuck logic value at the primary output
+  kDelayVisible,    ///< logic OK but primary-output delay shifted
+  kIddqVisible,     ///< supply current shifted (conventional Iddq test)
+  kAmplitudeOnly,   ///< ONLY the built-in detectors flag it (the paper's class)
+  kCatastrophic,    ///< circuit no longer simulates/biases (supply short etc.)
+};
+
+std::string_view FaultClassName(FaultClass c);
+
+struct ScreeningOptions {
+  int chain_length = 4;
+  double frequency = 100e6;
+  /// Transient window [s]; measurements use its second half.
+  double sim_time = 60e-9;
+  /// Detector flags when its vout falls this far below the fault-free
+  /// reference [V].
+  double detector_drop = 0.12;
+  /// Primary output counts as logic-visible when its differential swing
+  /// falls below this fraction of nominal (or it stops toggling).
+  double logic_swing_fraction = 0.5;
+  /// Delay-visible when the fixed-reference primary-output delay shifts by
+  /// more than this [s].
+  double delay_threshold = 30e-12;
+  /// Iddq-visible when the mean supply current deviates from fault-free by
+  /// more than this fraction.
+  double iddq_fraction = 0.25;
+  /// Detector configuration (variant 2 per gate; test mode is enabled
+  /// during screening).
+  DetectorOptions detector;
+  defects::EnumerationOptions enumeration;
+};
+
+struct DefectOutcome {
+  defects::Defect defect;
+  bool converged = false;
+  bool logic_fail = false;
+  bool delay_fail = false;
+  bool iddq_fail = false;
+  bool amplitude_detected = false;
+  /// Largest differential amplitude observed on any monitored gate output [V].
+  double max_gate_amplitude = 0.0;
+  /// Lowest detector vout across all detectors [V].
+  double min_detector_vout = 0.0;
+  /// Per-detector vout minima (index = monitored gate), for localization.
+  std::vector<double> detector_vouts;
+  /// Mean supply current magnitude over the window [A].
+  double supply_current = 0.0;
+  FaultClass Classify() const;
+};
+
+struct ScreeningReport {
+  std::vector<DefectOutcome> outcomes;
+  double nominal_swing = 0.0;
+  double reference_delay = 0.0;
+  double reference_detector_vout = 0.0;
+  double reference_supply_current = 0.0;
+  /// Per-detector fault-free vout minima (localization baseline).
+  std::vector<double> reference_detector_vouts;
+
+  int CountClass(FaultClass c) const;
+  int total() const { return static_cast<int>(outcomes.size()); }
+  /// Coverage of conventional (stuck-at + delay) testing alone.
+  double ConventionalCoverage() const;
+  /// Coverage with amplitude detectors added.
+  double CombinedCoverage() const;
+};
+
+/// Screen the full defect universe of an instrumented buffer chain.
+util::StatusOr<ScreeningReport> ScreenBufferChain(
+    const ScreeningOptions& options = {});
+
+}  // namespace cmldft::core

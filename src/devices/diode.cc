@@ -1,0 +1,29 @@
+#include "devices/diode.h"
+
+#include "devices/junction.h"
+#include "devices/passive.h"
+#include "util/units.h"
+
+namespace cmldft::devices {
+
+void Diode::Stamp(netlist::StampContext& ctx) const {
+  const netlist::NodeId a = node(0), c = node(1);
+  const double v = ctx.V(a) - ctx.V(c);
+  const double vt = util::ThermalVoltage(ctx.temperature());
+
+  const JunctionEval j = EvalJunction(v, params_.is, params_.n, vt, ctx.gmin());
+  ctx.StampCurrent(a, c, j.current, j.conductance);
+
+  // Charge: depletion + diffusion (tt * i_junction).
+  double cdep = 0.0;
+  const double qdep =
+      DepletionCharge(v, params_.cj0, params_.vj, params_.m, params_.fc, &cdep);
+  const double q = qdep + params_.tt * j.current;
+  const double cap = cdep + params_.tt * j.conductance;
+  const ChargeCompanion cc = IntegrateCharge(ctx, *this, 0, 1, q, cap);
+  if (cc.conductance != 0.0 || cc.current != 0.0) {
+    ctx.StampCurrent(a, c, cc.current, cc.conductance);
+  }
+}
+
+}  // namespace cmldft::devices

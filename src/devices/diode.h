@@ -1,0 +1,42 @@
+// Junction diode with depletion + diffusion charge.
+#pragma once
+
+#include <memory>
+
+#include "netlist/device.h"
+
+namespace cmldft::devices {
+
+/// Diode model parameters (SPICE .model D subset).
+struct DiodeParams {
+  double is = 1e-16;   ///< saturation current [A]
+  double n = 1.0;      ///< emission coefficient
+  double cj0 = 0.0;    ///< zero-bias depletion capacitance [F]
+  double vj = 0.75;    ///< junction potential [V]
+  double m = 0.33;     ///< grading coefficient
+  double fc = 0.5;     ///< forward-bias depletion-cap linearization point
+  double tt = 0.0;     ///< transit time (diffusion charge) [s]
+};
+
+/// Terminals: {anode, cathode}.
+class Diode : public netlist::Device {
+ public:
+  Diode(std::string name, netlist::NodeId anode, netlist::NodeId cathode,
+        DiodeParams params = {})
+      : Device(std::move(name), {anode, cathode}), params_(params) {}
+
+  const DiodeParams& params() const { return params_; }
+
+  bool is_nonlinear() const override { return true; }
+  int num_states() const override { return 2; }  // {charge, current}
+  void Stamp(netlist::StampContext& ctx) const override;
+  std::unique_ptr<netlist::Device> Clone() const override {
+    return std::make_unique<Diode>(*this);
+  }
+  std::string_view kind() const override { return "diode"; }
+
+ private:
+  DiodeParams params_;
+};
+
+}  // namespace cmldft::devices

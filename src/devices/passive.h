@@ -1,0 +1,65 @@
+// Linear passive elements: resistor and capacitor.
+#pragma once
+
+#include <memory>
+
+#include "netlist/device.h"
+
+namespace cmldft::devices {
+
+/// Two-terminal linear resistor. Terminals: {a, b}.
+class Resistor : public netlist::Device {
+ public:
+  Resistor(std::string name, netlist::NodeId a, netlist::NodeId b,
+           double resistance)
+      : Device(std::move(name), {a, b}), resistance_(resistance) {}
+
+  double resistance() const { return resistance_; }
+  void set_resistance(double r) { resistance_ = r; }
+
+  void Stamp(netlist::StampContext& ctx) const override;
+  std::unique_ptr<netlist::Device> Clone() const override {
+    return std::make_unique<Resistor>(*this);
+  }
+  std::string_view kind() const override { return "resistor"; }
+
+ private:
+  double resistance_;
+};
+
+/// Two-terminal linear capacitor. Terminals: {a, b}. Open in DC analyses;
+/// integrated via the engine's charge-companion in transient.
+class Capacitor : public netlist::Device {
+ public:
+  Capacitor(std::string name, netlist::NodeId a, netlist::NodeId b,
+            double capacitance)
+      : Device(std::move(name), {a, b}), capacitance_(capacitance) {}
+
+  double capacitance() const { return capacitance_; }
+  void set_capacitance(double c) { capacitance_ = c; }
+
+  int num_states() const override { return 2; }  // {charge, current}
+  void Stamp(netlist::StampContext& ctx) const override;
+  std::unique_ptr<netlist::Device> Clone() const override {
+    return std::make_unique<Capacitor>(*this);
+  }
+  std::string_view kind() const override { return "capacitor"; }
+
+ private:
+  double capacitance_;
+};
+
+/// Shared charge-element companion integration. Given the charge `q` and
+/// incremental capacitance `c = dq/dv` at the present iterate, returns the
+/// branch current and companion conductance for the active integration
+/// method, updating the device's {q, i} state slots. In DC analyses the
+/// element is an open circuit and states are seeded.
+struct ChargeCompanion {
+  double current;
+  double conductance;
+};
+ChargeCompanion IntegrateCharge(netlist::StampContext& ctx,
+                                const netlist::Device& dev, int q_slot,
+                                int i_slot, double q, double c);
+
+}  // namespace cmldft::devices

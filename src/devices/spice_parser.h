@@ -1,0 +1,35 @@
+// SPICE-like netlist text parser and writer.
+//
+// Supported grammar (case-insensitive):
+//   * comment lines ('*' or ';' first non-blank char), '+' continuations
+//   * Rname a b value                      resistor
+//   * Cname a b value                      capacitor
+//   * Vname p n [dc] value | PULSE(...) | SIN(...) | PWL(...)
+//   * Iname p n [dc] value | PULSE(...) | SIN(...) | PWL(...)
+//   * Dname a c model                      diode
+//   * Qname c b e [e2 e3 ...] model        BJT (extra nodes = multi-emitter)
+//   * Ename p n cp cn gain                 VCVS
+//   * Xname n1 n2 ... subname              subcircuit instance (flattened)
+//   * .model name NPN|D (param=value ...)
+//   * .subckt name p1 p2 ... / .ends
+//   * .end                                 ignored
+// Values accept engineering suffixes (4k, 10p, 1meg).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace cmldft::devices {
+
+/// Parse netlist text into a flat Netlist (subcircuits are flattened with
+/// hierarchical names "xinst.node" / "xinst.dev").
+util::StatusOr<netlist::Netlist> ParseSpice(std::string_view text);
+
+/// Serialize a netlist back to parseable SPICE text. Model cards are
+/// emitted for each distinct parameter set encountered.
+std::string WriteSpice(const netlist::Netlist& netlist);
+
+}  // namespace cmldft::devices

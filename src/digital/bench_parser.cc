@@ -1,0 +1,170 @@
+#include "digital/bench_parser.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace cmldft::digital {
+
+namespace {
+
+using util::Status;
+using util::StatusOr;
+using util::StrPrintf;
+
+struct Line {
+  std::string output;           // empty for INPUT/OUTPUT declarations
+  std::string function;         // "input", "output", or the gate function
+  std::vector<std::string> args;
+};
+
+StatusOr<std::vector<Line>> Tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  for (std::string_view raw : util::SplitChar(text, '\n')) {
+    std::string_view s = util::StripWhitespace(raw);
+    if (s.empty() || s[0] == '#') continue;
+    Line line;
+    const size_t eq = s.find('=');
+    std::string_view rhs = s;
+    if (eq != std::string_view::npos) {
+      line.output = std::string(util::StripWhitespace(s.substr(0, eq)));
+      rhs = util::StripWhitespace(s.substr(eq + 1));
+    }
+    const size_t open = rhs.find('(');
+    const size_t close = rhs.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      return Status::ParseError("malformed .bench line: '" + std::string(s) + "'");
+    }
+    line.function = util::ToLower(std::string(util::StripWhitespace(rhs.substr(0, open))));
+    for (std::string_view arg :
+         util::SplitChar(rhs.substr(open + 1, close - open - 1), ',')) {
+      std::string_view a = util::StripWhitespace(arg);
+      if (!a.empty()) line.args.emplace_back(a);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace
+
+StatusOr<GateNetlist> ParseBench(std::string_view text) {
+  CMLDFT_ASSIGN_OR_RETURN(std::vector<Line> lines, Tokenize(text));
+
+  GateNetlist nl;
+  std::map<std::string, SignalId> signals;       // resolved names
+  std::vector<std::string> outputs;              // declared outputs
+  // Gate lines may reference signals defined later (and DFFs close loops),
+  // so resolve in two passes: declare all INPUTs and all defined names
+  // first (DFFs as placeholders), then build combinational gates in
+  // dependency order via memoized recursion.
+  std::map<std::string, const Line*> defs;
+  for (const Line& line : lines) {
+    if (line.function == "input") {
+      if (line.args.size() != 1) return Status::ParseError("INPUT arity");
+      signals[line.args[0]] = nl.AddInput(line.args[0]);
+    } else if (line.function == "output") {
+      if (line.args.size() != 1) return Status::ParseError("OUTPUT arity");
+      outputs.push_back(line.args[0]);
+    } else {
+      if (line.output.empty()) {
+        return Status::ParseError("gate line without output name");
+      }
+      defs[line.output] = &line;
+    }
+  }
+  // DFF placeholders first (their d input is patched at the end).
+  std::vector<std::pair<SignalId, std::string>> dff_patches;
+  for (const auto& [name, line] : defs) {
+    if (line->function == "dff") {
+      if (line->args.size() != 1) return Status::ParseError("DFF arity");
+      // Temporary fanin: any existing signal (first input or itself-safe 0).
+      const SignalId placeholder =
+          nl.inputs().empty() ? nl.AddInput("__bench_tie") : nl.inputs()[0];
+      signals[name] = nl.AddGate(GateType::kDff, name, {placeholder});
+      dff_patches.emplace_back(signals[name], line->args[0]);
+    }
+  }
+
+  // Recursive elaboration of combinational definitions.
+  std::function<StatusOr<SignalId>(const std::string&, int)> resolve =
+      [&](const std::string& name, int depth) -> StatusOr<SignalId> {
+    auto it = signals.find(name);
+    if (it != signals.end()) return it->second;
+    auto def = defs.find(name);
+    if (def == defs.end()) {
+      return Status::NotFound("undefined signal '" + name + "'");
+    }
+    if (depth > 10000) {
+      return Status::ParseError("combinational loop through '" + name + "'");
+    }
+    const Line& line = *def->second;
+    std::vector<SignalId> args;
+    for (const std::string& a : line.args) {
+      CMLDFT_ASSIGN_OR_RETURN(SignalId s, resolve(a, depth + 1));
+      args.push_back(s);
+    }
+    const std::string& fn = line.function;
+    auto tree = [&](GateType type) -> SignalId {
+      SignalId acc = args[0];
+      for (size_t i = 1; i < args.size(); ++i) {
+        const std::string gname =
+            i + 1 == args.size() ? name : StrPrintf("%s_t%zu", name.c_str(), i);
+        acc = nl.AddGate(type, gname, {acc, args[i]});
+      }
+      return acc;
+    };
+    SignalId out;
+    if (fn == "buf" || fn == "buff") {
+      if (args.size() != 1) return Status::ParseError("BUF arity");
+      out = nl.AddGate(GateType::kBuf, name, {args[0]});
+    } else if (fn == "not") {
+      if (args.size() != 1) return Status::ParseError("NOT arity");
+      out = nl.AddGate(GateType::kNot, name, {args[0]});
+    } else if (fn == "and" || fn == "or" || fn == "xor") {
+      if (args.size() < 2) return Status::ParseError(fn + " arity");
+      out = tree(fn == "and"  ? GateType::kAnd2
+                 : fn == "or" ? GateType::kOr2
+                              : GateType::kXor2);
+    } else if (fn == "nand" || fn == "nor" || fn == "xnor") {
+      if (args.size() < 2) return Status::ParseError(fn + " arity");
+      // Tree under an inner name, then the inversion takes the gate name.
+      SignalId acc = args[0];
+      const GateType type = fn == "nand"  ? GateType::kAnd2
+                            : fn == "nor" ? GateType::kOr2
+                                          : GateType::kXor2;
+      for (size_t i = 1; i < args.size(); ++i) {
+        acc = nl.AddGate(type, StrPrintf("%s_t%zu", name.c_str(), i),
+                         {acc, args[i]});
+      }
+      out = nl.AddGate(GateType::kNot, name, {acc});
+    } else {
+      return Status::ParseError("unsupported .bench function '" + fn + "'");
+    }
+    signals[name] = out;
+    return out;
+  };
+
+  for (const auto& [name, line] : defs) {
+    if (line->function == "dff") continue;
+    CMLDFT_ASSIGN_OR_RETURN(SignalId s, resolve(name, 0));
+    (void)s;
+  }
+  for (auto& [dff, d_name] : dff_patches) {
+    CMLDFT_ASSIGN_OR_RETURN(SignalId d, resolve(d_name, 0));
+    nl.PatchDffInput(dff, d);
+  }
+  for (const std::string& out_name : outputs) {
+    auto it = signals.find(out_name);
+    if (it == signals.end()) {
+      return Status::NotFound("OUTPUT references undefined '" + out_name + "'");
+    }
+    nl.MarkOutput(it->second);
+  }
+  return nl;
+}
+
+}  // namespace cmldft::digital

@@ -1,0 +1,25 @@
+// Parser for the ISCAS ".bench" netlist format, the lingua franca of
+// testability benchmarks (c17, c432, s27, ...):
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G7  = DFF(G10)
+//   G11 = NOT(G6)
+//
+// Supported functions: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF(F), DFF.
+// Multi-input AND/OR/XOR are decomposed into 2-input trees; NAND/NOR/XNOR
+// into the tree plus a NOT.
+#pragma once
+
+#include <string_view>
+
+#include "digital/gate_netlist.h"
+#include "util/status.h"
+
+namespace cmldft::digital {
+
+util::StatusOr<GateNetlist> ParseBench(std::string_view text);
+
+}  // namespace cmldft::digital

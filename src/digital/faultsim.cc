@@ -1,0 +1,139 @@
+#include "digital/faultsim.h"
+
+#include <cassert>
+
+#include "digital/patterns.h"
+#include "util/rng.h"
+
+namespace cmldft::digital {
+
+std::vector<StuckAtFault> EnumerateStuckAtFaults(const GateNetlist& netlist) {
+  std::vector<StuckAtFault> out;
+  out.reserve(static_cast<size_t>(netlist.num_signals()) * 2);
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    out.push_back({s, false});
+    out.push_back({s, true});
+  }
+  return out;
+}
+
+namespace {
+// Applies one pattern as a clock cycle; returns primary outputs.
+std::vector<Logic> ApplyPattern(LogicSimulator& sim,
+                                const std::vector<Logic>& pattern) {
+  const auto& inputs = sim.netlist().inputs();
+  assert(pattern.size() == inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) sim.SetInput(inputs[i], pattern[i]);
+  sim.Evaluate();
+  std::vector<Logic> outs = sim.OutputValues();
+  if (!sim.netlist().dffs().empty()) sim.ClockEdge();
+  return outs;
+}
+}  // namespace
+
+FaultSimResult RunStuckAtFaultSim(
+    const GateNetlist& netlist, const std::vector<StuckAtFault>& faults,
+    const std::vector<std::vector<Logic>>& patterns) {
+  FaultSimResult result;
+  result.total_faults = static_cast<int>(faults.size());
+  result.detected_at.assign(faults.size(), 0);
+
+  // Good-machine responses.
+  LogicSimulator good(netlist);
+  std::vector<std::vector<Logic>> good_outs;
+  good_outs.reserve(patterns.size());
+  for (const auto& p : patterns) good_outs.push_back(ApplyPattern(good, p));
+
+  for (size_t f = 0; f < faults.size(); ++f) {
+    LogicSimulator faulty(netlist);
+    faulty.SetFault(faults[f]);
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      const std::vector<Logic> outs = ApplyPattern(faulty, patterns[p]);
+      bool differs = false;
+      for (size_t o = 0; o < outs.size(); ++o) {
+        const Logic a = good_outs[p][o], b = outs[o];
+        if (IsKnown(a) && IsKnown(b) && a != b) {
+          differs = true;
+          break;
+        }
+      }
+      if (differs) {
+        result.detected_at[f] = static_cast<int>(p) + 1;
+        ++result.detected;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+ToggleHistory MeasureToggleCoverage(const GateNetlist& netlist,
+                                    int max_patterns, uint32_t seed) {
+  LogicSimulator sim(netlist);
+  Lfsr lfsr(seed);
+  const int width = static_cast<int>(netlist.inputs().size());
+  ToggleHistory history;
+  for (int p = 1; p <= max_patterns; ++p) {
+    ApplyPattern(sim, lfsr.NextPattern(width));
+    // Log-spaced sampling of the coverage curve.
+    if (p < 10 || p % (p < 100 ? 10 : 100) == 0 || p == max_patterns) {
+      history.pattern_counts.push_back(p);
+      history.coverage.push_back(sim.ToggleCoverage());
+    }
+  }
+  history.final_coverage = sim.ToggleCoverage();
+  return history;
+}
+
+int ToggleHistory::PatternsToReach(double target) const {
+  for (size_t i = 0; i < coverage.size(); ++i) {
+    if (coverage[i] >= target) return pattern_counts[i];
+  }
+  return -1;
+}
+
+ConvergenceResult AnalyzeInitialization(const GateNetlist& netlist,
+                                        int sequence_length, int trials,
+                                        uint32_t seed) {
+  ConvergenceResult result;
+  result.trials = trials;
+  result.sequence_length = sequence_length;
+  const int width = static_cast<int>(netlist.inputs().size());
+  const int ndff = static_cast<int>(netlist.dffs().size());
+  if (ndff == 0) {
+    result.converged = true;
+    result.cycles_to_converge = 0;
+    return result;
+  }
+  // One shared input sequence for all trials.
+  const std::vector<std::vector<Logic>> seq =
+      GeneratePatterns(width, sequence_length, 0xBEEF);
+
+  util::Rng rng(seed);
+  std::vector<LogicSimulator> sims;
+  sims.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    sims.emplace_back(netlist);
+    std::vector<Logic> init(static_cast<size_t>(ndff));
+    for (auto& v : init) v = FromBool(rng.NextBool());
+    sims.back().SetDffStates(init);
+  }
+  for (int cycle = 0; cycle < sequence_length; ++cycle) {
+    bool all_equal = true;
+    for (auto& sim : sims) {
+      ApplyPattern(sim, seq[static_cast<size_t>(cycle)]);
+    }
+    const std::vector<Logic> ref = sims[0].DffStates();
+    for (int t = 1; t < trials && all_equal; ++t) {
+      if (sims[static_cast<size_t>(t)].DffStates() != ref) all_equal = false;
+    }
+    if (all_equal) {
+      result.converged = true;
+      result.cycles_to_converge = cycle + 1;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace cmldft::digital

@@ -1,0 +1,46 @@
+#include "digital/patterns.h"
+
+#include <cassert>
+
+namespace cmldft::digital {
+
+Lfsr::Lfsr(uint32_t seed, uint32_t taps)
+    : state_(seed == 0 ? 1u : seed), taps_(taps) {}
+
+bool Lfsr::NextBit() {
+  const bool out = state_ & 1u;
+  const uint32_t feedback = __builtin_parity(state_ & taps_);
+  state_ = (state_ >> 1) | (feedback << 31);
+  return out;
+}
+
+std::vector<Logic> Lfsr::NextPattern(int n) {
+  std::vector<Logic> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = FromBool(NextBit());
+  return out;
+}
+
+std::vector<std::vector<Logic>> GeneratePatterns(int width, int count,
+                                                 uint32_t seed) {
+  Lfsr lfsr(seed);
+  std::vector<std::vector<Logic>> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(lfsr.NextPattern(width));
+  return out;
+}
+
+std::vector<std::vector<Logic>> ExhaustivePatterns(int width) {
+  assert(width <= 20);
+  std::vector<std::vector<Logic>> out;
+  out.reserve(1u << width);
+  for (uint32_t v = 0; v < (1u << width); ++v) {
+    std::vector<Logic> p(static_cast<size_t>(width));
+    for (int b = 0; b < width; ++b) {
+      p[static_cast<size_t>(b)] = FromBool((v >> b) & 1u);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace cmldft::digital

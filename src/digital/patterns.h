@@ -1,0 +1,36 @@
+// Pseudorandom pattern generation (LFSR) — the paper's §6.6 recommendation
+// for stimulating sequential circuits to good toggle coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digital/logic.h"
+
+namespace cmldft::digital {
+
+/// Fibonacci LFSR over a primitive polynomial (default: x^32+x^22+x^2+x+1).
+class Lfsr {
+ public:
+  explicit Lfsr(uint32_t seed = 0xACE1u, uint32_t taps = 0x80200003u);
+
+  /// Next pseudorandom bit.
+  bool NextBit();
+  /// Next `n`-bit pattern (vector of Logic, no X).
+  std::vector<Logic> NextPattern(int n);
+
+  uint32_t state() const { return state_; }
+
+ private:
+  uint32_t state_;
+  uint32_t taps_;
+};
+
+/// A deterministic pattern sequence: `count` patterns of `width` bits.
+std::vector<std::vector<Logic>> GeneratePatterns(int width, int count,
+                                                 uint32_t seed = 0xACE1u);
+
+/// Exhaustive patterns for small widths (width <= 20).
+std::vector<std::vector<Logic>> ExhaustivePatterns(int width);
+
+}  // namespace cmldft::digital

@@ -1,0 +1,112 @@
+#include "digital/simulator.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace cmldft::digital {
+
+std::string StuckAtFault::Id(const GateNetlist& nl) const {
+  return util::StrPrintf("sa%d(%s)", stuck_value ? 1 : 0,
+                         nl.gate(signal).name.c_str());
+}
+
+LogicSimulator::LogicSimulator(const GateNetlist& netlist)
+    : netlist_(&netlist) {
+  auto order = netlist.TopologicalOrder();
+  assert(order.ok() && "netlist has a combinational loop");
+  order_ = std::move(order).value();
+  Reset();
+}
+
+void LogicSimulator::Reset(Logic init) {
+  values_.assign(static_cast<size_t>(netlist_->num_signals()), init);
+  dff_next_.assign(values_.size(), init);
+  seen0_.assign(values_.size(), 0);
+  seen1_.assign(values_.size(), 0);
+}
+
+void LogicSimulator::SetDffStates(const std::vector<Logic>& states) {
+  const auto& dffs = netlist_->dffs();
+  assert(states.size() == dffs.size());
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    values_[static_cast<size_t>(dffs[i])] = states[i];
+  }
+}
+
+std::vector<Logic> LogicSimulator::DffStates() const {
+  std::vector<Logic> out;
+  out.reserve(netlist_->dffs().size());
+  for (SignalId d : netlist_->dffs()) out.push_back(Value(d));
+  return out;
+}
+
+void LogicSimulator::SetInput(SignalId input, Logic value) {
+  assert(netlist_->gate(input).type == GateType::kInput);
+  values_[static_cast<size_t>(input)] = value;
+}
+
+void LogicSimulator::Evaluate() {
+  for (SignalId id : order_) {
+    const Gate& g = netlist_->gate(id);
+    Logic v = values_[static_cast<size_t>(id)];
+    auto in = [&](int k) { return values_[static_cast<size_t>(g.fanin[static_cast<size_t>(k)])]; };
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kDff:
+        break;  // sources keep their value
+      case GateType::kBuf: v = in(0); break;
+      case GateType::kNot: v = Not(in(0)); break;
+      case GateType::kAnd2: v = And(in(0), in(1)); break;
+      case GateType::kOr2: v = Or(in(0), in(1)); break;
+      case GateType::kXor2: v = Xor(in(0), in(1)); break;
+      case GateType::kMux2: v = Mux(in(0), in(1), in(2)); break;
+    }
+    if (fault_ && fault_->signal == id) v = FromBool(fault_->stuck_value);
+    values_[static_cast<size_t>(id)] = v;
+  }
+  RecordToggles();
+}
+
+void LogicSimulator::ClockEdge() {
+  for (SignalId d : netlist_->dffs()) {
+    const Gate& g = netlist_->gate(d);
+    Logic v = values_[static_cast<size_t>(g.fanin[0])];
+    if (fault_ && fault_->signal == d) v = FromBool(fault_->stuck_value);
+    dff_next_[static_cast<size_t>(d)] = v;
+  }
+  for (SignalId d : netlist_->dffs()) {
+    values_[static_cast<size_t>(d)] = dff_next_[static_cast<size_t>(d)];
+  }
+  Evaluate();
+}
+
+std::vector<Logic> LogicSimulator::OutputValues() const {
+  std::vector<Logic> out;
+  out.reserve(netlist_->outputs().size());
+  for (SignalId o : netlist_->outputs()) out.push_back(Value(o));
+  return out;
+}
+
+void LogicSimulator::RecordToggles() {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == Logic::k0) seen0_[i] = 1;
+    if (values_[i] == Logic::k1) seen1_[i] = 1;
+  }
+}
+
+bool LogicSimulator::Toggled(SignalId signal) const {
+  return seen0_[static_cast<size_t>(signal)] && seen1_[static_cast<size_t>(signal)];
+}
+
+double LogicSimulator::ToggleCoverage() const {
+  int total = 0, toggled = 0;
+  for (SignalId i = 0; i < netlist_->num_signals(); ++i) {
+    if (netlist_->gate(i).type == GateType::kInput) continue;
+    ++total;
+    if (Toggled(i)) ++toggled;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(toggled) / total;
+}
+
+}  // namespace cmldft::digital

@@ -1,0 +1,65 @@
+// Event-free levelized gate-level simulator with toggle tracking, plus an
+// optional single stuck-at fault overlay (for serial fault simulation).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "digital/gate_netlist.h"
+#include "digital/logic.h"
+#include "util/status.h"
+
+namespace cmldft::digital {
+
+/// A stuck-at fault on a signal (gate output or primary input).
+struct StuckAtFault {
+  SignalId signal = -1;
+  bool stuck_value = false;
+  std::string Id(const GateNetlist& nl) const;
+};
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const GateNetlist& netlist);
+
+  /// Reset all state (DFFs and signals) to `init` and clear toggle history.
+  void Reset(Logic init = Logic::kX);
+  /// Set DFF states explicitly (for initialization-convergence trials).
+  void SetDffStates(const std::vector<Logic>& states);
+  std::vector<Logic> DffStates() const;
+
+  void SetInput(SignalId input, Logic value);
+  /// Evaluate all combinational logic from current inputs and DFF states.
+  void Evaluate();
+  /// Clock edge: latch DFF inputs, then re-evaluate.
+  void ClockEdge();
+
+  Logic Value(SignalId signal) const {
+    return values_.at(static_cast<size_t>(signal));
+  }
+  std::vector<Logic> OutputValues() const;
+
+  /// Inject / clear a stuck-at overlay (applies on subsequent Evaluate()).
+  void SetFault(std::optional<StuckAtFault> fault) { fault_ = fault; }
+
+  // --- toggle tracking (the paper's §6.6 coverage metric) ----------------
+  /// A signal is "toggled" once it has been observed at both 0 and 1.
+  bool Toggled(SignalId signal) const;
+  /// Fraction of non-input signals that have toggled.
+  double ToggleCoverage() const;
+  int num_signals() const { return netlist_->num_signals(); }
+
+  const GateNetlist& netlist() const { return *netlist_; }
+
+ private:
+  void RecordToggles();
+
+  const GateNetlist* netlist_;
+  std::vector<SignalId> order_;
+  std::vector<Logic> values_;
+  std::vector<Logic> dff_next_;
+  std::vector<uint8_t> seen0_, seen1_;
+  std::optional<StuckAtFault> fault_;
+};
+
+}  // namespace cmldft::digital

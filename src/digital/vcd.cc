@@ -1,0 +1,73 @@
+#include "digital/vcd.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace cmldft::digital {
+
+namespace {
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string IdCode(int index) {
+  std::string code;
+  int v = index;
+  do {
+    code += static_cast<char>('!' + v % 94);
+    v /= 94;
+  } while (v > 0);
+  return code;
+}
+
+char VcdChar(Logic v) {
+  switch (v) {
+    case Logic::k0: return '0';
+    case Logic::k1: return '1';
+    case Logic::kX: return 'x';
+  }
+  return 'x';
+}
+}  // namespace
+
+VcdRecorder::VcdRecorder(const GateNetlist& netlist, int timescale_ns)
+    : netlist_(&netlist), timescale_ns_(timescale_ns) {}
+
+void VcdRecorder::Capture(const std::vector<Logic>& values) {
+  assert(static_cast<int>(values.size()) == netlist_->num_signals());
+  frames_.push_back(values);
+}
+
+std::string VcdRecorder::Render() const {
+  std::string out;
+  out += "$date cmldft $end\n";
+  out += util::StrPrintf("$timescale %d ns $end\n", timescale_ns_);
+  out += "$scope module design $end\n";
+  for (SignalId s = 0; s < netlist_->num_signals(); ++s) {
+    out += util::StrPrintf("$var wire 1 %s %s $end\n", IdCode(s).c_str(),
+                           netlist_->gate(s).name.c_str());
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+  std::vector<Logic> last(static_cast<size_t>(netlist_->num_signals()),
+                          Logic::kX);
+  bool first = true;
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    std::string changes;
+    for (SignalId s = 0; s < netlist_->num_signals(); ++s) {
+      const Logic v = frames_[f][static_cast<size_t>(s)];
+      if (first || v != last[static_cast<size_t>(s)]) {
+        changes += util::StrPrintf("%c%s\n", VcdChar(v), IdCode(s).c_str());
+        last[static_cast<size_t>(s)] = v;
+      }
+    }
+    if (!changes.empty() || first) {
+      out += util::StrPrintf("#%zu\n", f);
+      if (first) out += "$dumpvars\n";
+      out += changes;
+      if (first) out += "$end\n";
+      first = false;
+    }
+  }
+  out += util::StrPrintf("#%zu\n", frames_.size());
+  return out;
+}
+
+}  // namespace cmldft::digital

@@ -1,0 +1,41 @@
+// VCD (Value Change Dump, IEEE 1364) export of gate-level simulation
+// traces, so waveform viewers can inspect the digital side of the flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "digital/gate_netlist.h"
+#include "digital/logic.h"
+
+namespace cmldft::digital {
+
+/// Records signal values cycle by cycle and renders a VCD document.
+class VcdRecorder {
+ public:
+  /// Records all signals of `netlist`; `timescale_ns` is the VCD time unit
+  /// per recorded cycle.
+  explicit VcdRecorder(const GateNetlist& netlist, int timescale_ns = 10);
+
+  /// Capture the current values (call once per applied pattern/cycle).
+  void Capture(const std::vector<Logic>& values);
+  /// Convenience: capture from a simulator.
+  template <typename Simulator>
+  void CaptureFrom(const Simulator& sim) {
+    std::vector<Logic> v(static_cast<size_t>(netlist_->num_signals()));
+    for (SignalId s = 0; s < netlist_->num_signals(); ++s) v[static_cast<size_t>(s)] = sim.Value(s);
+    Capture(v);
+  }
+
+  int num_cycles() const { return static_cast<int>(frames_.size()); }
+
+  /// Render the full VCD document.
+  std::string Render() const;
+
+ private:
+  const GateNetlist* netlist_;
+  int timescale_ns_;
+  std::vector<std::vector<Logic>> frames_;
+};
+
+}  // namespace cmldft::digital

@@ -1,0 +1,126 @@
+#include "netlist/netlist.h"
+
+#include <cassert>
+#include <map>
+
+#include "util/strings.h"
+
+namespace cmldft::netlist {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_index_["0"] = kGroundNode;
+  node_index_["gnd"] = kGroundNode;
+}
+
+Netlist::Netlist(const Netlist& other)
+    : node_names_(other.node_names_),
+      node_index_(other.node_index_),
+      device_index_(other.device_index_),
+      unique_counter_(other.unique_counter_) {
+  devices_.reserve(other.devices_.size());
+  for (const auto& d : other.devices_) devices_.push_back(d->Clone());
+}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  Netlist copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+NodeId Netlist::AddNode(const std::string& name) {
+  const std::string key = util::ToLower(name);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_index_[key] = id;
+  return id;
+}
+
+NodeId Netlist::AddUniqueNode(const std::string& hint) {
+  for (;;) {
+    std::string candidate =
+        util::StrPrintf("%s__u%d", hint.c_str(), unique_counter_++);
+    if (node_index_.find(util::ToLower(candidate)) == node_index_.end()) {
+      return AddNode(candidate);
+    }
+  }
+}
+
+NodeId Netlist::FindNode(const std::string& name) const {
+  auto it = node_index_.find(util::ToLower(name));
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+const std::string& Netlist::NodeName(NodeId id) const {
+  assert(id >= 0 && id < num_nodes());
+  return node_names_[static_cast<size_t>(id)];
+}
+
+Device* Netlist::AddDevice(std::unique_ptr<Device> device) {
+  assert(device != nullptr);
+  assert(device_index_.find(device->name()) == device_index_.end() &&
+         "duplicate device name");
+  Device* raw = device.get();
+  device_index_[device->name()] = devices_.size();
+  devices_.push_back(std::move(device));
+  return raw;
+}
+
+Device* Netlist::FindDevice(const std::string& name) {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
+const Device* Netlist::FindDevice(const std::string& name) const {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : devices_[it->second].get();
+}
+
+util::Status Netlist::RemoveDevice(const std::string& name) {
+  auto it = device_index_.find(name);
+  if (it == device_index_.end()) {
+    return util::Status::NotFound("no device named '" + name + "'");
+  }
+  const size_t pos = it->second;
+  devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(pos));
+  device_index_.erase(it);
+  // Reindex devices after the removed slot.
+  for (auto& [dev_name, idx] : device_index_) {
+    (void)dev_name;
+    if (idx > pos) --idx;
+  }
+  return util::Status::Ok();
+}
+
+std::vector<std::string> Netlist::DevicesOnNode(NodeId node) const {
+  std::vector<std::string> out;
+  for (const auto& d : devices_) {
+    for (NodeId n : d->nodes()) {
+      if (n == node) {
+        out.push_back(d->name());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Netlist::Summary() const {
+  std::map<std::string, int> kinds;
+  for (const auto& d : devices_) kinds[std::string(d->kind())]++;
+  std::string out = util::StrPrintf("netlist: %d nodes, %d devices (",
+                                    num_nodes(), num_devices());
+  bool first = true;
+  for (const auto& [kind, count] : kinds) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::StrPrintf("%d %s", count, kind.c_str());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cmldft::netlist

@@ -1,0 +1,14 @@
+// Node identifiers. Ground is always node 0 ("0" / "gnd").
+#pragma once
+
+#include <cstdint>
+
+namespace cmldft::netlist {
+
+/// Index into a Netlist's node table. Ground is kGroundNode.
+using NodeId = int32_t;
+
+inline constexpr NodeId kGroundNode = 0;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace cmldft::netlist

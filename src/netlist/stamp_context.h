@@ -1,0 +1,105 @@
+// Interface through which devices load (stamp) their linearized companion
+// models into the MNA system. Implemented by sim::MnaSystem; declared here
+// so that device models depend only on the netlist layer.
+#pragma once
+
+#include "netlist/node.h"
+
+namespace cmldft::netlist {
+
+class Device;
+
+/// What the engine is currently computing. Devices adapt their companion
+/// models: capacitors are open in DC, sources evaluate at `time` in
+/// transient, etc.
+enum class AnalysisMode {
+  kDcOperatingPoint,
+  kDcSweep,
+  kTransient,
+};
+
+/// Numerical integration method for charge-storage elements.
+enum class IntegrationMethod {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+/// Per-iteration stamping interface.
+///
+/// Sign conventions: the MNA system is J x = rhs, where KCL rows state
+/// "sum of currents *leaving* the node equals zero". StampCurrent() handles
+/// the Newton linearization bookkeeping for nonlinear branch currents.
+class StampContext {
+ public:
+  virtual ~StampContext() = default;
+
+  // --- analysis state -------------------------------------------------
+  virtual AnalysisMode mode() const = 0;
+  /// Current simulation time [s]; 0 in DC analyses.
+  virtual double time() const = 0;
+  /// Present timestep [s]; 0 in DC analyses.
+  virtual double dt() const = 0;
+  virtual IntegrationMethod method() const = 0;
+  /// Shunt conductance added across semiconductor junctions to aid
+  /// convergence (SPICE gmin). Devices add it themselves.
+  virtual double gmin() const = 0;
+  /// Simulation temperature [K].
+  virtual double temperature() const = 0;
+  /// True on the first Newton iteration of the first timepoint, when no
+  /// previous solution exists (devices may seed junction voltages).
+  virtual bool first_iteration() const = 0;
+  /// Homotopy factor in [0, 1] applied by independent sources (source
+  /// stepping). 1 in normal operation.
+  virtual double source_scale() const = 0;
+
+  // --- present Newton iterate ------------------------------------------
+  /// Voltage of node `n` at the present iterate (0 for ground).
+  virtual double V(NodeId n) const = 0;
+  /// Branch current unknown `slot` of `dev` at the present iterate.
+  virtual double BranchCurrent(const Device& dev, int slot) const = 0;
+
+  // --- raw stamps -------------------------------------------------------
+  /// J(row_node, col_node) += g; either node may be ground (ignored).
+  virtual void AddNodeMatrix(NodeId row, NodeId col, double g) = 0;
+  /// rhs(row_node) += value.
+  virtual void AddNodeRhs(NodeId row, double value) = 0;
+  /// Stamps coupling between a device's branch-current unknown and nodes.
+  virtual void AddBranchNodeMatrix(const Device& dev, int slot, NodeId col,
+                                   double value) = 0;
+  virtual void AddNodeBranchMatrix(NodeId row, const Device& dev, int slot,
+                                   double value) = 0;
+  virtual void AddBranchBranchMatrix(const Device& dev, int slot,
+                                     double value) = 0;
+  virtual void AddBranchRhs(const Device& dev, int slot, double value) = 0;
+
+  // --- convenience stamps ----------------------------------------------
+  /// Linear conductance g between a and b.
+  void StampConductance(NodeId a, NodeId b, double g) {
+    AddNodeMatrix(a, a, g);
+    AddNodeMatrix(b, b, g);
+    AddNodeMatrix(a, b, -g);
+    AddNodeMatrix(b, a, -g);
+  }
+
+  /// Nonlinear branch current I flowing from `a` to `b`, evaluated at the
+  /// present iterate, with conductance g = dI/d(Va - Vb). Stamps the Newton
+  /// companion (g plus equivalent current source).
+  void StampCurrent(NodeId a, NodeId b, double current, double g) {
+    StampConductance(a, b, g);
+    const double ieq = current - g * (V(a) - V(b));
+    AddNodeRhs(a, -ieq);
+    AddNodeRhs(b, ieq);
+  }
+
+  // --- integrator state -------------------------------------------------
+  /// Value of state slot `slot` at the previous accepted timepoint.
+  virtual double PrevState(const Device& dev, int slot) const = 0;
+  /// Record state slot value for the timepoint being solved. Must be called
+  /// every Stamp() so the accepted values are the converged ones.
+  virtual void SetState(const Device& dev, int slot, double value) = 0;
+  /// True while solving the DC operating point that initializes a transient
+  /// (capacitor states must be seeded, not differentiated).
+  virtual bool initializing_state() const = 0;
+};
+
+}  // namespace cmldft::netlist

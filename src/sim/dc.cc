@@ -1,0 +1,176 @@
+#include "sim/dc.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "devices/sources.h"
+#include "sim/dc_internal.h"
+#include "sim/mna.h"
+#include "sim/newton.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace cmldft::sim {
+
+namespace internal {
+
+namespace {
+util::StatusOr<NewtonResult> TryNewton(MnaSystem& mna, double gmin,
+                                       double source_scale,
+                                       const linalg::Vector& guess,
+                                       const NewtonOptions& newton) {
+  mna.set_gmin(gmin);
+  mna.set_source_scale(source_scale);
+  NewtonOptions opts = newton;
+  opts.gmin = gmin;
+  return SolveNewton(mna, guess, opts);
+}
+}  // namespace
+
+util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
+                                               const DcOptions& options,
+                                               const linalg::Vector& guess) {
+  // Stage 0: plain Newton.
+  auto plain = TryNewton(mna, options.newton.gmin, 1.0, guess, options.newton);
+  if (plain.ok()) return HomotopyResult{std::move(plain).value(), 0};
+  CMLDFT_LOG(kDebug) << "DC plain newton failed: " << plain.status().ToString();
+
+  // Stage 1: gmin stepping — converge with a large junction shunt, then
+  // tighten stage by stage, each solution seeding the next.
+  int stages = 0;
+  {
+    linalg::Vector x = guess;
+    bool ladder_ok = true;
+    for (double g = options.gmin_start; g >= options.newton.gmin;
+         g /= options.gmin_reduction) {
+      auto r = TryNewton(mna, g, 1.0, x, options.newton);
+      ++stages;
+      if (!r.ok()) {
+        ladder_ok = false;
+        break;
+      }
+      x = std::move(r).value().solution;
+    }
+    if (ladder_ok) {
+      auto final_r =
+          TryNewton(mna, options.newton.gmin, 1.0, x, options.newton);
+      ++stages;
+      if (final_r.ok()) return HomotopyResult{std::move(final_r).value(), stages};
+    }
+  }
+
+  // Stage 2: source stepping — ramp all independent sources from zero.
+  linalg::Vector x(static_cast<size_t>(mna.num_unknowns()), 0.0);
+  for (int step = 1; step <= options.source_steps; ++step) {
+    const double alpha =
+        static_cast<double>(step) / static_cast<double>(options.source_steps);
+    auto r = TryNewton(mna, options.newton.gmin, alpha, x, options.newton);
+    ++stages;
+    if (!r.ok()) {
+      return util::Status::NoConvergence(util::StrPrintf(
+          "DC failed: plain newton, gmin ladder and source stepping "
+          "(stalled at alpha=%.2f): %s",
+          alpha, r.status().message().c_str()));
+    }
+    x = std::move(r).value().solution;
+  }
+  auto final_r = TryNewton(mna, options.newton.gmin, 1.0, x, options.newton);
+  if (!final_r.ok()) return final_r.status();
+  return HomotopyResult{std::move(final_r).value(), stages};
+}
+
+}  // namespace internal
+
+namespace {
+DcResult PackResult(const MnaSystem& mna, const NewtonResult& nr,
+                    int homotopy_stages) {
+  const netlist::Netlist& nl = mna.netlist();
+  DcResult out;
+  out.newton_iterations = nr.iterations;
+  out.homotopy_stages = homotopy_stages;
+  out.node_voltages.assign(static_cast<size_t>(nl.num_nodes()), 0.0);
+  for (netlist::NodeId n = 1; n < nl.num_nodes(); ++n) {
+    out.node_voltages[static_cast<size_t>(n)] =
+        nr.solution[static_cast<size_t>(mna.UnknownOfNode(n))];
+  }
+  nl.ForEachDevice([&](const netlist::Device& dev) {
+    if (dev.num_branches() > 0) {
+      out.source_currents[dev.name()] =
+          nr.solution[static_cast<size_t>(mna.UnknownOfBranch(dev, 0))];
+    }
+  });
+  return out;
+}
+}  // namespace
+
+double DcResult::V(const netlist::Netlist& nl,
+                   const std::string& node_name) const {
+  const netlist::NodeId id = nl.FindNode(node_name);
+  assert(id != netlist::kInvalidNode && "unknown node name");
+  return node_voltages.at(static_cast<size_t>(id));
+}
+
+util::StatusOr<DcResult> SolveDc(const netlist::Netlist& netlist,
+                                 const DcOptions& options,
+                                 const std::vector<double>& initial_guess) {
+  MnaSystem mna(netlist);
+  mna.set_mode(netlist::AnalysisMode::kDcOperatingPoint);
+  mna.set_temperature(options.temperature_k);
+  mna.set_initializing_state(true);
+  mna.set_time(0.0);
+  mna.set_dt(0.0);
+
+  linalg::Vector guess(static_cast<size_t>(mna.num_unknowns()), 0.0);
+  if (!initial_guess.empty()) {
+    if (initial_guess.size() != guess.size()) {
+      return util::Status::InvalidArgument("initial guess dimension mismatch");
+    }
+    guess = initial_guess;
+  }
+  auto hr = internal::SolveDcHomotopy(mna, options, guess);
+  if (!hr.ok()) return hr.status();
+  return PackResult(mna, hr.value().newton, hr.value().stages);
+}
+
+util::StatusOr<std::vector<DcSweepPoint>> DcSweepVSource(
+    netlist::Netlist netlist, const std::string& vsource_name,
+    const std::vector<double>& values, const DcOptions& options) {
+  auto* dev = netlist.FindDevice(vsource_name);
+  if (dev == nullptr || dev->kind() != "vsource") {
+    return util::Status::NotFound("no voltage source named '" + vsource_name +
+                                  "'");
+  }
+  auto* vsrc = static_cast<devices::VSource*>(dev);
+
+  // One persistent MNA system gives continuation across sweep points
+  // (crucial for tracing hysteresis branches in the right order).
+  MnaSystem mna(netlist);
+  mna.set_mode(netlist::AnalysisMode::kDcSweep);
+  mna.set_temperature(options.temperature_k);
+  mna.set_initializing_state(true);
+  mna.set_time(0.0);
+  mna.set_dt(0.0);
+
+  std::vector<DcSweepPoint> out;
+  out.reserve(values.size());
+  linalg::Vector guess(static_cast<size_t>(mna.num_unknowns()), 0.0);
+  bool have_guess = false;
+  for (double v : values) {
+    vsrc->set_waveform(devices::Waveform::Dc(v));
+    auto hr = internal::SolveDcHomotopy(
+        mna, options,
+        have_guess ? guess
+                   : linalg::Vector(static_cast<size_t>(mna.num_unknowns()), 0.0));
+    if (!hr.ok()) {
+      return util::Status::NoConvergence(
+          util::StrPrintf("sweep point %s=%.6g: %s", vsource_name.c_str(), v,
+                          hr.status().message().c_str()));
+    }
+    guess = hr.value().newton.solution;
+    have_guess = true;
+    out.push_back({v, PackResult(mna, hr.value().newton, hr.value().stages)});
+  }
+  return out;
+}
+
+}  // namespace cmldft::sim

@@ -1,0 +1,26 @@
+// Shared DC homotopy driver, used by SolveDc and by the transient engine's
+// t=0 operating point (which must run on the transient's own MnaSystem so
+// integrator states are seeded in place).
+#pragma once
+
+#include "linalg/matrix.h"
+#include "sim/mna.h"
+#include "sim/newton.h"
+#include "sim/options.h"
+#include "util/status.h"
+
+namespace cmldft::sim::internal {
+
+struct HomotopyResult {
+  NewtonResult newton;
+  int stages = 0;
+};
+
+/// Run plain Newton, then gmin stepping, then source stepping on `mna`
+/// (whose mode/temperature/initializing flags the caller has configured).
+/// Leaves mna's gmin/source_scale at their final (nominal) values.
+util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
+                                               const DcOptions& options,
+                                               const linalg::Vector& guess);
+
+}  // namespace cmldft::sim::internal

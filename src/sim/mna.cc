@@ -1,0 +1,154 @@
+#include "sim/mna.h"
+
+#include <cassert>
+
+namespace cmldft::sim {
+
+using netlist::Device;
+using netlist::NodeId;
+
+MnaSystem::MnaSystem(const netlist::Netlist& netlist) : netlist_(&netlist) {
+  num_node_unknowns_ = netlist.num_nodes() - 1;  // ground excluded
+  int branch_cursor = num_node_unknowns_;
+  int state_cursor = 0;
+  netlist.ForEachDevice([&](const Device& dev) {
+    DeviceSlots s;
+    if (dev.num_branches() > 0) {
+      s.branch_offset = branch_cursor;
+      branch_cursor += dev.num_branches();
+    }
+    if (dev.num_states() > 0) {
+      s.state_offset = state_cursor;
+      state_cursor += dev.num_states();
+    }
+    slots_[&dev] = s;
+  });
+  num_unknowns_ = branch_cursor;
+  num_states_ = state_cursor;
+  jacobian_ = linalg::Matrix(static_cast<size_t>(num_unknowns_),
+                             static_cast<size_t>(num_unknowns_));
+  rhs_.assign(static_cast<size_t>(num_unknowns_), 0.0);
+  prev_states_.assign(static_cast<size_t>(num_states_), 0.0);
+  curr_states_.assign(static_cast<size_t>(num_states_), 0.0);
+}
+
+const MnaSystem::DeviceSlots& MnaSystem::SlotsOf(const Device& dev) const {
+  auto it = slots_.find(&dev);
+  assert(it != slots_.end() && "device not part of this MNA system");
+  return it->second;
+}
+
+int MnaSystem::UnknownOfNode(NodeId node) const {
+  assert(node >= 0 && node < netlist_->num_nodes());
+  return node == netlist::kGroundNode ? -1 : node - 1;
+}
+
+int MnaSystem::UnknownOfBranch(const Device& dev, int slot) const {
+  const DeviceSlots& s = SlotsOf(dev);
+  assert(s.branch_offset >= 0 && slot < dev.num_branches());
+  return s.branch_offset + slot;
+}
+
+void MnaSystem::set_sparse(bool sparse) {
+  sparse_ = sparse;
+  if (sparse_ && sparse_jac_.dimension() != static_cast<size_t>(num_unknowns_)) {
+    sparse_jac_ = linalg::SparseBuilder(static_cast<size_t>(num_unknowns_));
+  }
+}
+
+void MnaSystem::Assemble(const linalg::Vector& iterate) {
+  assert(static_cast<int>(iterate.size()) == num_unknowns_);
+  iterate_ = &iterate;
+  if (sparse_) {
+    sparse_jac_.Clear();
+  } else {
+    jacobian_.Fill(0.0);
+  }
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  netlist_->ForEachDevice([&](const Device& dev) { dev.Stamp(*this); });
+  iterate_ = nullptr;
+}
+
+void MnaSystem::RotateStates() { prev_states_ = curr_states_; }
+
+void MnaSystem::ResetCurrentStates() { curr_states_ = prev_states_; }
+
+double MnaSystem::V(NodeId n) const {
+  assert(iterate_ != nullptr && "V() outside Assemble()");
+  const int u = UnknownOfNode(n);
+  return u < 0 ? 0.0 : (*iterate_)[static_cast<size_t>(u)];
+}
+
+double MnaSystem::BranchCurrent(const Device& dev, int slot) const {
+  assert(iterate_ != nullptr);
+  return (*iterate_)[static_cast<size_t>(UnknownOfBranch(dev, slot))];
+}
+
+void MnaSystem::AddNodeMatrix(NodeId row, NodeId col, double g) {
+  const int r = UnknownOfNode(row);
+  const int c = UnknownOfNode(col);
+  if (r < 0 || c < 0) return;
+  if (sparse_) {
+    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), g);
+  } else {
+    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += g;
+  }
+}
+
+void MnaSystem::AddNodeRhs(NodeId row, double value) {
+  const int r = UnknownOfNode(row);
+  if (r < 0) return;
+  rhs_[static_cast<size_t>(r)] += value;
+}
+
+void MnaSystem::AddBranchNodeMatrix(const Device& dev, int slot, NodeId col,
+                                    double value) {
+  const int r = UnknownOfBranch(dev, slot);
+  const int c = UnknownOfNode(col);
+  if (c < 0) return;
+  if (sparse_) {
+    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), value);
+  } else {
+    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += value;
+  }
+}
+
+void MnaSystem::AddNodeBranchMatrix(NodeId row, const Device& dev, int slot,
+                                    double value) {
+  const int r = UnknownOfNode(row);
+  if (r < 0) return;
+  const int c = UnknownOfBranch(dev, slot);
+  if (sparse_) {
+    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), value);
+  } else {
+    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += value;
+  }
+}
+
+void MnaSystem::AddBranchBranchMatrix(const Device& dev, int slot,
+                                      double value) {
+  const int i = UnknownOfBranch(dev, slot);
+  if (sparse_) {
+    sparse_jac_.Add(static_cast<size_t>(i), static_cast<size_t>(i), value);
+  } else {
+    jacobian_(static_cast<size_t>(i), static_cast<size_t>(i)) += value;
+  }
+}
+
+void MnaSystem::AddBranchRhs(const Device& dev, int slot, double value) {
+  rhs_[static_cast<size_t>(UnknownOfBranch(dev, slot))] += value;
+}
+
+double MnaSystem::PrevState(const Device& dev, int slot) const {
+  const DeviceSlots& s = SlotsOf(dev);
+  assert(s.state_offset >= 0 && slot < dev.num_states());
+  return prev_states_[static_cast<size_t>(s.state_offset + slot)];
+}
+
+void MnaSystem::SetState(const Device& dev, int slot, double value) {
+  const DeviceSlots& s = SlotsOf(dev);
+  assert(s.state_offset >= 0 && slot < dev.num_states());
+  curr_states_[static_cast<size_t>(s.state_offset + slot)] = value;
+}
+
+}  // namespace cmldft::sim

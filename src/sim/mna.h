@@ -1,0 +1,126 @@
+// Modified Nodal Analysis system: unknown numbering, assembly, and the
+// StampContext implementation devices stamp into.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "netlist/netlist.h"
+#include "netlist/stamp_context.h"
+#include "util/status.h"
+
+namespace cmldft::sim {
+
+/// Owns the unknown numbering for a netlist (node voltages first, then
+/// branch currents), the assembled Jacobian/RHS, and the integrator state
+/// vectors. One MnaSystem is reused across all Newton iterations and
+/// timepoints of an analysis.
+class MnaSystem : public netlist::StampContext {
+ public:
+  explicit MnaSystem(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+
+  int num_unknowns() const { return num_unknowns_; }
+  int num_node_unknowns() const { return num_node_unknowns_; }
+
+  /// Unknown index of a node (-1 for ground).
+  int UnknownOfNode(netlist::NodeId node) const;
+  /// Unknown index of a device branch slot.
+  int UnknownOfBranch(const netlist::Device& dev, int slot) const;
+
+  // --- analysis configuration (set by the engines) ----------------------
+  void set_mode(netlist::AnalysisMode m) { mode_ = m; }
+  void set_time(double t) { time_ = t; }
+  void set_dt(double dt) { dt_ = dt; }
+  void set_method(netlist::IntegrationMethod m) { method_ = m; }
+  void set_gmin(double g) { gmin_ = g; }
+  void set_temperature(double t) { temperature_ = t; }
+  void set_first_iteration(bool b) { first_iteration_ = b; }
+  void set_source_scale(double s) { source_scale_ = s; }
+  void set_initializing_state(bool b) { initializing_state_ = b; }
+
+  /// Assemble Jacobian and RHS at the given iterate (solving J x = rhs
+  /// yields the next Newton iterate directly). In sparse mode the Jacobian
+  /// goes into sparse_jacobian() instead of jacobian().
+  void Assemble(const linalg::Vector& iterate);
+
+  /// Route stamps into a sparse builder instead of the dense matrix
+  /// (worth it above a few hundred unknowns; results are identical).
+  void set_sparse(bool sparse);
+  bool sparse() const { return sparse_; }
+
+  const linalg::Matrix& jacobian() const { return jacobian_; }
+  const linalg::SparseBuilder& sparse_jacobian() const { return sparse_jac_; }
+  const linalg::Vector& rhs() const { return rhs_; }
+
+  // --- integrator state --------------------------------------------------
+  /// Promote the states written during the last converged solve to
+  /// "previous" (call when a timepoint is accepted).
+  void RotateStates();
+  /// Copy previous states into current (call when a step is rejected so a
+  /// retry starts clean).
+  void ResetCurrentStates();
+
+  // --- StampContext ------------------------------------------------------
+  netlist::AnalysisMode mode() const override { return mode_; }
+  double time() const override { return time_; }
+  double dt() const override { return dt_; }
+  netlist::IntegrationMethod method() const override { return method_; }
+  double gmin() const override { return gmin_; }
+  double temperature() const override { return temperature_; }
+  bool first_iteration() const override { return first_iteration_; }
+  double source_scale() const override { return source_scale_; }
+  bool initializing_state() const override { return initializing_state_; }
+
+  double V(netlist::NodeId n) const override;
+  double BranchCurrent(const netlist::Device& dev, int slot) const override;
+
+  void AddNodeMatrix(netlist::NodeId row, netlist::NodeId col, double g) override;
+  void AddNodeRhs(netlist::NodeId row, double value) override;
+  void AddBranchNodeMatrix(const netlist::Device& dev, int slot,
+                           netlist::NodeId col, double value) override;
+  void AddNodeBranchMatrix(netlist::NodeId row, const netlist::Device& dev,
+                           int slot, double value) override;
+  void AddBranchBranchMatrix(const netlist::Device& dev, int slot,
+                             double value) override;
+  void AddBranchRhs(const netlist::Device& dev, int slot, double value) override;
+
+  double PrevState(const netlist::Device& dev, int slot) const override;
+  void SetState(const netlist::Device& dev, int slot, double value) override;
+
+ private:
+  struct DeviceSlots {
+    int branch_offset = -1;  // first branch unknown (absolute index)
+    int state_offset = -1;   // first state slot
+  };
+  const DeviceSlots& SlotsOf(const netlist::Device& dev) const;
+
+  const netlist::Netlist* netlist_;
+  std::unordered_map<const netlist::Device*, DeviceSlots> slots_;
+  int num_node_unknowns_ = 0;
+  int num_unknowns_ = 0;
+  int num_states_ = 0;
+
+  netlist::AnalysisMode mode_ = netlist::AnalysisMode::kDcOperatingPoint;
+  double time_ = 0.0;
+  double dt_ = 0.0;
+  netlist::IntegrationMethod method_ = netlist::IntegrationMethod::kTrapezoidal;
+  double gmin_ = 1e-12;
+  double temperature_ = 300.15;
+  bool first_iteration_ = false;
+  double source_scale_ = 1.0;
+  bool initializing_state_ = false;
+
+  const linalg::Vector* iterate_ = nullptr;
+  bool sparse_ = false;
+  linalg::SparseBuilder sparse_jac_{0};
+  linalg::Matrix jacobian_;
+  linalg::Vector rhs_;
+  std::vector<double> prev_states_;
+  std::vector<double> curr_states_;
+};
+
+}  // namespace cmldft::sim

@@ -1,0 +1,75 @@
+#include "sim/newton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace cmldft::sim {
+
+util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
+                                         const linalg::Vector& initial_guess,
+                                         const NewtonOptions& opts) {
+  const int n = mna.num_unknowns();
+  if (static_cast<int>(initial_guess.size()) != n) {
+    return util::Status::InvalidArgument("initial guess dimension mismatch");
+  }
+  linalg::Vector x = initial_guess;
+  const bool use_sparse =
+      opts.solver == NewtonOptions::Solver::kSparse ||
+      (opts.solver == NewtonOptions::Solver::kAuto && n > 256);
+  mna.set_sparse(use_sparse);
+  linalg::LuFactorization lu;
+  linalg::SparseLu sparse_lu;
+  const int n_nodes = mna.num_node_unknowns();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    mna.set_first_iteration(iter == 0);
+    mna.Assemble(x);
+    util::Status st = use_sparse ? sparse_lu.Factor(mna.sparse_jacobian())
+                                 : lu.Factor(mna.jacobian());
+    if (!st.ok()) {
+      return util::Status::SingularMatrix(util::StrPrintf(
+          "newton iter %d: %s", iter, st.message().c_str()));
+    }
+    auto solved = use_sparse ? sparse_lu.Solve(mna.rhs()) : lu.Solve(mna.rhs());
+    if (!solved.ok()) return solved.status();
+    linalg::Vector& x_new = solved.value();
+
+    // Clamp node-voltage updates (global damping); find convergence metric.
+    bool converged = true;
+    double max_v_step = 0.0;
+    for (int i = 0; i < n_nodes; ++i) {
+      const double dv = x_new[static_cast<size_t>(i)] - x[static_cast<size_t>(i)];
+      max_v_step = std::max(max_v_step, std::fabs(dv));
+    }
+    double damp = 1.0;
+    if (max_v_step > opts.max_delta_v) damp = opts.max_delta_v / max_v_step;
+
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[static_cast<size_t>(i)];
+      const double delta = x_new[static_cast<size_t>(i)] - xi;
+      const double step = (i < n_nodes ? damp : 1.0) * delta;
+      const double tol = (i < n_nodes ? opts.abstol_v : opts.abstol_i) +
+                         opts.reltol * std::fabs(xi + step);
+      if (std::fabs(delta) > tol) converged = false;
+      x[static_cast<size_t>(i)] = xi + step;
+      if (!std::isfinite(x[static_cast<size_t>(i)])) {
+        return util::Status::NoConvergence(
+            util::StrPrintf("newton diverged (non-finite) at iter %d", iter));
+      }
+    }
+    if (converged && damp == 1.0) {
+      return NewtonResult{std::move(x), iter + 1};
+    }
+  }
+  CMLDFT_LOG(kDebug) << "newton exhausted " << opts.max_iterations
+                     << " iterations";
+  return util::Status::NoConvergence(util::StrPrintf(
+      "newton did not converge in %d iterations", opts.max_iterations));
+}
+
+}  // namespace cmldft::sim

@@ -1,0 +1,84 @@
+#include "testgen/amplitude_test.h"
+
+#include "digital/patterns.h"
+#include "digital/simulator.h"
+
+namespace cmldft::testgen {
+
+using digital::GateNetlist;
+using digital::GateType;
+using digital::Logic;
+using digital::LogicSimulator;
+using digital::SignalId;
+
+TogglePlan PlanCombinationalToggleTest(const GateNetlist& netlist,
+                                       const TogglePlanOptions& options) {
+  const int width = static_cast<int>(netlist.inputs().size());
+  digital::Lfsr lfsr(options.seed);
+
+  // Coverage state across the selected set: (signal, value) pairs seen.
+  const size_t n = static_cast<size_t>(netlist.num_signals());
+  std::vector<uint8_t> seen0(n, 0), seen1(n, 0);
+  auto countable = [&](SignalId s) {
+    return netlist.gate(s).type != GateType::kInput;
+  };
+  int total_pairs = 0;
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    if (countable(s)) total_pairs += 2;
+  }
+
+  TogglePlan plan;
+  LogicSimulator sim(netlist);
+  int covered = 0;
+  for (int c = 0; c < options.max_patterns; ++c) {
+    const std::vector<Logic> pattern = lfsr.NextPattern(width);
+    const auto& inputs = netlist.inputs();
+    for (size_t i = 0; i < inputs.size(); ++i) sim.SetInput(inputs[i], pattern[i]);
+    sim.Evaluate();
+    int gain = 0;
+    for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+      if (!countable(s)) continue;
+      const Logic v = sim.Value(s);
+      if (v == Logic::k0 && !seen0[static_cast<size_t>(s)]) ++gain;
+      if (v == Logic::k1 && !seen1[static_cast<size_t>(s)]) ++gain;
+    }
+    if (gain == 0) continue;
+    for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+      if (!countable(s)) continue;
+      const Logic v = sim.Value(s);
+      if (v == Logic::k0) seen0[static_cast<size_t>(s)] = 1;
+      if (v == Logic::k1) seen1[static_cast<size_t>(s)] = 1;
+    }
+    covered += gain;
+    plan.patterns.push_back(pattern);
+    if (static_cast<double>(covered) / total_pairs >= options.target_coverage) {
+      break;
+    }
+  }
+  plan.coverage = total_pairs == 0 ? 1.0 : static_cast<double>(covered) / total_pairs;
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    if (countable(s) &&
+        !(seen0[static_cast<size_t>(s)] && seen1[static_cast<size_t>(s)])) {
+      plan.untoggled.push_back(s);
+    }
+  }
+  return plan;
+}
+
+SequentialTestPlan PlanSequentialToggleTest(const GateNetlist& netlist,
+                                            const TogglePlanOptions& options) {
+  SequentialTestPlan plan;
+  plan.history =
+      digital::MeasureToggleCoverage(netlist, options.max_patterns, options.seed);
+  plan.convergence = digital::AnalyzeInitialization(
+      netlist, /*sequence_length=*/options.max_patterns, /*trials=*/16,
+      options.seed ^ 0x5555u);
+  const int to_coverage = plan.history.PatternsToReach(options.target_coverage);
+  if (plan.convergence.converged && to_coverage >= 0) {
+    plan.recommended_patterns =
+        plan.convergence.cycles_to_converge + to_coverage;
+  }
+  return plan;
+}
+
+}  // namespace cmldft::testgen

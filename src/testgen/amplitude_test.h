@@ -1,0 +1,58 @@
+// The paper's testing approach (§6.6) for output-amplitude faults:
+//
+// "To detect it, the fault must be asserted by sensitizing a path through
+//  the faulty gate and make its output toggle."
+//
+// For combinational circuits that means choosing input vectors that toggle
+// every gate output (each gate sees both 0 and 1). For sequential circuits
+// the paper recommends pseudorandom patterns, whose toggle coverage and
+// initialization determinism (ref [13]) we quantify.
+#pragma once
+
+#include <vector>
+
+#include "digital/faultsim.h"
+#include "digital/gate_netlist.h"
+#include "digital/logic.h"
+
+namespace cmldft::testgen {
+
+struct TogglePlanOptions {
+  /// Candidate random patterns to draw from (combinational) or to apply
+  /// (sequential).
+  int max_patterns = 2000;
+  /// Stop once this toggle coverage is reached.
+  double target_coverage = 1.0;
+  uint32_t seed = 0xACE1u;
+};
+
+/// A selected set of test vectors for combinational amplitude testing.
+struct TogglePlan {
+  std::vector<std::vector<digital::Logic>> patterns;
+  double coverage = 0.0;
+  /// Signals never observed at both values (amplitude faults on these gates
+  /// are not asserted by the plan).
+  std::vector<digital::SignalId> untoggled;
+};
+
+/// Greedy pattern selection: draw LFSR candidates, keep each pattern that
+/// toggles something new, stop at target coverage. The returned plan is a
+/// compact vector set that asserts amplitude faults on every covered gate.
+TogglePlan PlanCombinationalToggleTest(const digital::GateNetlist& netlist,
+                                       const TogglePlanOptions& options = {});
+
+/// Sequential plan: pseudorandom stimulation. Reports the toggle-coverage
+/// growth curve, the initialization-convergence length, and the pattern
+/// count recommended for amplitude testing (coverage knee + convergence
+/// prefix).
+struct SequentialTestPlan {
+  digital::ToggleHistory history;
+  digital::ConvergenceResult convergence;
+  /// Patterns needed: convergence prefix + patterns to reach target
+  /// coverage (-1 if the target was never reached).
+  int recommended_patterns = -1;
+};
+SequentialTestPlan PlanSequentialToggleTest(const digital::GateNetlist& netlist,
+                                            const TogglePlanOptions& options = {});
+
+}  // namespace cmldft::testgen

@@ -1,0 +1,41 @@
+// Minimal severity-filtered logger. The simulator logs convergence
+// diagnostics at kDebug; benches leave the default (kWarning) so output
+// stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cmldft::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Global threshold: messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Sink a fully formatted message (appends newline, writes to stderr).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace cmldft::util
+
+#define CMLDFT_LOG(level)                                       \
+  if (::cmldft::util::LogLevel::level < ::cmldft::util::GetLogLevel()) {} \
+  else ::cmldft::util::internal::LogLine(::cmldft::util::LogLevel::level)

@@ -1,0 +1,34 @@
+// Deterministic, seedable PRNG (xoshiro256**) for pattern generation and
+// property tests. Deterministic across platforms, unlike std::mt19937's
+// distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace cmldft::util {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cmldft::util

@@ -1,0 +1,30 @@
+#include "util/status.h"
+
+namespace cmldft::util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNoConvergence: return "NO_CONVERGENCE";
+    case StatusCode::kSingularMatrix: return "SINGULAR_MATRIX";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cmldft::util

@@ -1,0 +1,132 @@
+// Lightweight Status / StatusOr error propagation for expected failures.
+//
+// The simulator reports expected, recoverable failures (non-convergence,
+// singular matrices, malformed netlists) through Status rather than
+// exceptions; exceptions are reserved for programming errors (precondition
+// violations assert instead).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cmldft::util {
+
+/// Broad classification of an error. Mirrors the handful of failure classes
+/// the library can actually produce; keep this list short and meaningful.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kNotFound,          ///< named node/device/parameter does not exist
+  kFailedPrecondition,///< object not in a state where the call is legal
+  kNoConvergence,     ///< Newton / transient failed to converge
+  kSingularMatrix,    ///< MNA matrix numerically singular
+  kParseError,        ///< netlist text could not be parsed
+  kOutOfRange,        ///< index or sweep parameter out of range
+  kInternal,          ///< invariant violated inside the library
+};
+
+/// Human-readable name of a status code ("OK", "NO_CONVERGENCE", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail in an expected way.
+/// Cheap to copy when OK (no message allocation on the success path).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status NoConvergence(std::string msg) {
+    return {StatusCode::kNoConvergence, std::move(msg)};
+  }
+  static Status SingularMatrix(std::string msg) {
+    return {StatusCode::kSingularMatrix, std::move(msg)};
+  }
+  static Status ParseError(std::string msg) {
+    return {StatusCode::kParseError, std::move(msg)};
+  }
+  static Status OutOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NO_CONVERGENCE: newton stalled at ..."
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. Holds T on success; holds a non-OK Status otherwise.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define CMLDFT_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cmldft::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+/// Assign the value of a StatusOr expression or propagate its error.
+#define CMLDFT_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto CMLDFT_CONCAT_(_sor_, __LINE__) = (expr);      \
+  if (!CMLDFT_CONCAT_(_sor_, __LINE__).ok())          \
+    return CMLDFT_CONCAT_(_sor_, __LINE__).status();  \
+  lhs = std::move(CMLDFT_CONCAT_(_sor_, __LINE__)).value()
+
+#define CMLDFT_CONCAT_INNER_(a, b) a##b
+#define CMLDFT_CONCAT_(a, b) CMLDFT_CONCAT_INNER_(a, b)
+
+}  // namespace cmldft::util

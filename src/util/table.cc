@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace cmldft::util {
+
+namespace {
+const std::string kEmpty;
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  if (rows_.empty()) NewRow();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::AddF(const char* fmt, double value) {
+  return Add(StrPrintf(fmt, value));
+}
+
+Table& Table::AddInt(long long value) { return Add(StrPrintf("%lld", value)); }
+
+const std::string& Table::cell(size_t row, size_t col) const {
+  if (row >= rows_.size() || col >= rows_[row].size()) return kEmpty;
+  return rows_[row][col];
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : kEmpty;
+      line += v;
+      line.append(widths[c] - v.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto render = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += CsvEscape(cells[c]);
+    }
+    out += '\n';
+  };
+  render(headers_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace cmldft::util

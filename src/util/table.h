@@ -1,0 +1,41 @@
+// ASCII table and CSV emitters used by the benchmark harnesses to print the
+// paper's tables/figure series in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmldft::util {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with a caller-supplied printf spec.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent Add* calls fill it left to right.
+  Table& NewRow();
+  Table& Add(std::string cell);
+  Table& AddF(const char* fmt, double value);
+  Table& AddInt(long long value);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return headers_.size(); }
+
+  /// Cell accessor (row-major); returns empty string when out of range.
+  const std::string& cell(size_t row, size_t col) const;
+
+  /// Render with aligned columns and a header separator.
+  std::string ToString() const;
+  /// Render as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string ToCsv() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmldft::util

@@ -1,0 +1,62 @@
+// Physical constants and engineering-unit literals used throughout the
+// simulator and the CML library.
+#pragma once
+
+namespace cmldft::util {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElectronCharge = 1.602176634e-19;
+/// Default simulation temperature [K] (27 C, the SPICE convention).
+inline constexpr double kRoomTemperatureK = 300.15;
+
+/// Thermal voltage kT/q at temperature `temp_k` [V].
+constexpr double ThermalVoltage(double temp_k = kRoomTemperatureK) {
+  return kBoltzmann * temp_k / kElectronCharge;
+}
+
+namespace literals {
+
+// Engineering-unit literals. `3.3_V`, `250_mV`, `417_Ohm`, `4_kOhm`,
+// `10_pF`, `100_MHz`, `53_ps` read exactly like the paper's numbers.
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mA(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+}  // namespace literals
+
+}  // namespace cmldft::util

@@ -1,0 +1,115 @@
+#include "waveform/measure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cmldft::waveform {
+
+namespace {
+// Crossing times of the sampled signal (t[i], v[i]) against `level`.
+std::vector<double> CrossingsOf(const std::vector<double>& t,
+                                const std::vector<double>& v, double level,
+                                Edge edge) {
+  std::vector<double> out;
+  for (size_t i = 1; i < t.size(); ++i) {
+    const double a = v[i - 1] - level;
+    const double b = v[i] - level;
+    if (a == 0.0 && b == 0.0) continue;
+    const bool rising = a < 0.0 && b >= 0.0;
+    const bool falling = a > 0.0 && b <= 0.0;
+    if (!rising && !falling) continue;
+    if (edge == Edge::kRising && !rising) continue;
+    if (edge == Edge::kFalling && !falling) continue;
+    const double frac = a / (a - b);
+    out.push_back(t[i - 1] + frac * (t[i] - t[i - 1]));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> Crossings(const Trace& trace, double level, Edge edge) {
+  return CrossingsOf(trace.time, trace.value, level, edge);
+}
+
+std::vector<double> DifferentialCrossings(const Trace& a, const Trace& b,
+                                          Edge edge) {
+  // Resample the difference onto the union grid of both traces, then find
+  // zero crossings. The traces usually share a grid (same transient run),
+  // in which case this is exact.
+  std::vector<double> grid;
+  grid.reserve(a.size() + b.size());
+  std::merge(a.time.begin(), a.time.end(), b.time.begin(), b.time.end(),
+             std::back_inserter(grid));
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  std::vector<double> diff(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) diff[i] = a.At(grid[i]) - b.At(grid[i]);
+  return CrossingsOf(grid, diff, 0.0, edge);
+}
+
+std::optional<double> FirstCrossingAfter(const std::vector<double>& crossings,
+                                         double t_from) {
+  for (double t : crossings) {
+    if (t >= t_from) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> EdgeDelays(const std::vector<double>& reference_edges,
+                               const std::vector<double>& response_edges) {
+  std::vector<double> out;
+  for (double tr : reference_edges) {
+    if (auto t = FirstCrossingAfter(response_edges, tr)) {
+      out.push_back(*t - tr);
+    }
+  }
+  return out;
+}
+
+SwingStats MeasureSwing(const Trace& trace, double t0, double t1) {
+  const Trace w = trace.Window(t0, t1);
+  assert(!w.empty());
+  SwingStats s;
+  s.vhigh = w.Max();
+  s.vlow = w.Min();
+  s.swing = s.vhigh - s.vlow;
+  return s;
+}
+
+DetectorResponse MeasureDetectorResponse(const Trace& vout,
+                                         double settle_fraction) {
+  assert(!vout.empty());
+  DetectorResponse r;
+  const double v0 = vout.value.front();
+  r.vmin = vout.Min();
+  const double depth = v0 - r.vmin;
+  if (depth <= 0.0) {
+    // Never dropped below the starting level: detector did not fire.
+    r.t_stability = vout.t_begin();
+    r.vmax = vout.Max();
+    return r;
+  }
+  const double threshold = r.vmin + settle_fraction * depth;
+  size_t settle_index = vout.size() - 1;
+  for (size_t i = 0; i < vout.size(); ++i) {
+    if (vout.value[i] <= threshold) {
+      r.t_stability = vout.time[i];
+      settle_index = i;
+      break;
+    }
+  }
+  double vmax = r.vmin;
+  for (size_t i = settle_index; i < vout.size(); ++i) {
+    vmax = std::max(vmax, vout.value[i]);
+  }
+  r.vmax = vmax;
+  return r;
+}
+
+double RippleAfter(const Trace& trace, double t_from) {
+  const Trace w = trace.Window(t_from, trace.t_end());
+  if (w.empty()) return 0.0;
+  return w.Max() - w.Min();
+}
+
+}  // namespace cmldft::waveform

@@ -1,0 +1,60 @@
+// Waveform measurements used to regenerate the paper's tables and figures:
+// threshold crossings, propagation delays (fixed-reference and
+// actual-crossing), swing statistics, detector time-to-stability and ripple.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace cmldft::waveform {
+
+enum class Edge { kRising, kFalling, kAny };
+
+/// Times at which `trace` crosses `level` (linear interpolation between
+/// samples), filtered by edge direction.
+std::vector<double> Crossings(const Trace& trace, double level,
+                              Edge edge = Edge::kAny);
+
+/// Times at which a - b crosses zero: the "actual crossing" of an output
+/// and its complement (the measurement method of the paper's Table 2).
+std::vector<double> DifferentialCrossings(const Trace& a, const Trace& b,
+                                          Edge edge = Edge::kAny);
+
+/// First crossing at or after `t_from`; nullopt if none.
+std::optional<double> FirstCrossingAfter(const std::vector<double>& crossings,
+                                         double t_from);
+
+/// Propagation delay: for each reference edge time, the delay to the first
+/// response crossing at or after it. Returns one delay per matched pair.
+std::vector<double> EdgeDelays(const std::vector<double>& reference_edges,
+                               const std::vector<double>& response_edges);
+
+/// Steady-state high/low levels and swing of a signal, measured over the
+/// window [t0, t1] (pick the last few periods so startup transients are
+/// excluded). Vhigh = max, Vlow = min, swing = Vhigh - Vlow — the
+/// quantities plotted in the paper's Fig. 5.
+struct SwingStats {
+  double vhigh = 0.0;
+  double vlow = 0.0;
+  double swing = 0.0;
+};
+SwingStats MeasureSwing(const Trace& trace, double t0, double t1);
+
+/// Detector response characterization (paper §6.1, Figs. 7/8/10):
+/// tstability = time the output first comes within `settle_fraction` of its
+/// global minimum (the "first minimum" of the decaying response);
+/// vmax = maximum of the rippling signal after tstability.
+struct DetectorResponse {
+  double t_stability = 0.0;
+  double vmax = 0.0;
+  double vmin = 0.0;
+};
+DetectorResponse MeasureDetectorResponse(const Trace& vout,
+                                         double settle_fraction = 0.05);
+
+/// Peak-to-peak ripple after time `t_from`.
+double RippleAfter(const Trace& trace, double t_from);
+
+}  // namespace cmldft::waveform

@@ -1,0 +1,136 @@
+#include "waveform/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace cmldft::waveform {
+
+namespace {
+constexpr char kGlyphs[] = "*o+x#@%&";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void Include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+std::string RenderGrid(const std::vector<Series>& series,
+                       const AsciiPlotOptions& opt) {
+  Range xr, yr;
+  for (const auto& s : series) {
+    for (double x : s.x) xr.Include(x);
+    for (double y : s.y) yr.Include(y);
+  }
+  if (!xr.valid() || !yr.valid()) return "(empty plot)\n";
+  if (opt.y_lo < opt.y_hi) {
+    yr.lo = opt.y_lo;
+    yr.hi = opt.y_hi;
+  } else {
+    const double margin = (yr.hi - yr.lo) * 0.05;
+    yr.lo -= margin > 0 ? margin : 1.0;
+    yr.hi += margin > 0 ? margin : 1.0;
+  }
+  if (xr.hi == xr.lo) xr.hi = xr.lo + 1.0;
+
+  const int w = std::max(opt.width, 10);
+  const int h = std::max(opt.height, 4);
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+  auto plot_point = [&](double x, double y, char glyph) {
+    const int cx = static_cast<int>(std::lround((x - xr.lo) / (xr.hi - xr.lo) * (w - 1)));
+    const int cy = static_cast<int>(std::lround((y - yr.lo) / (yr.hi - yr.lo) * (h - 1)));
+    if (cx < 0 || cx >= w || cy < 0 || cy >= h) return;
+    grid[static_cast<size_t>(h - 1 - cy)][static_cast<size_t>(cx)] = glyph;
+  };
+
+  for (size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    if (s.x.size() >= 2) {
+      // Dense resample along x so lines look continuous.
+      for (int c = 0; c < w * 2; ++c) {
+        const double x = xr.lo + (xr.hi - xr.lo) * c / (w * 2 - 1);
+        // Interpolate series at x (requires sorted x; plot points otherwise).
+        if (!std::is_sorted(s.x.begin(), s.x.end())) break;
+        if (x < s.x.front() || x > s.x.back()) continue;
+        const auto it = std::lower_bound(s.x.begin(), s.x.end(), x);
+        const size_t i = static_cast<size_t>(it - s.x.begin());
+        double y;
+        if (i == 0) {
+          y = s.y.front();
+        } else {
+          const double t0 = s.x[i - 1], t1 = s.x[i];
+          y = t1 == t0 ? s.y[i]
+                       : s.y[i - 1] + (s.y[i] - s.y[i - 1]) * (x - t0) / (t1 - t0);
+        }
+        plot_point(x, y, glyph);
+      }
+    }
+    for (size_t i = 0; i < s.x.size(); ++i) plot_point(s.x[i], s.y[i], glyph);
+  }
+
+  std::string out;
+  for (int r = 0; r < h; ++r) {
+    const double y = yr.hi - (yr.hi - yr.lo) * r / (h - 1);
+    out += util::StrPrintf("%10.4g |", y);
+    out += grid[static_cast<size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(static_cast<size_t>(w), '-') + '\n';
+  out += util::StrPrintf("%11s %-10.4g%*s%10.4g\n", "", xr.lo,
+                         std::max(w - 20, 1), "", xr.hi);
+  if (opt.show_legend) {
+    out += "  legend:";
+    for (size_t si = 0; si < series.size(); ++si) {
+      out += util::StrPrintf("  %c=%s", kGlyphs[si % (sizeof(kGlyphs) - 1)],
+                             series[si].name.c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+}  // namespace
+
+std::string TracesToCsv(const std::vector<Trace>& traces) {
+  std::string out = "time";
+  for (const auto& t : traces) out += "," + (t.name.empty() ? "v" : t.name);
+  out += '\n';
+  std::vector<double> grid;
+  for (const auto& t : traces) {
+    grid.insert(grid.end(), t.time.begin(), t.time.end());
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  for (double tt : grid) {
+    out += util::StrPrintf("%.9g", tt);
+    for (const auto& t : traces) {
+      out += util::StrPrintf(",%.9g", t.empty() ? 0.0 : t.At(tt));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AsciiPlot(const std::vector<Trace>& traces,
+                      const AsciiPlotOptions& options) {
+  std::vector<Series> series;
+  series.reserve(traces.size());
+  for (const auto& t : traces) {
+    series.push_back({t.name, t.time, t.value});
+  }
+  return RenderGrid(series, options);
+}
+
+std::string AsciiPlotSeries(const std::vector<Series>& series,
+                            const AsciiPlotOptions& options) {
+  return RenderGrid(series, options);
+}
+
+}  // namespace cmldft::waveform

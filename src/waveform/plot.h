@@ -1,0 +1,41 @@
+// Text rendering of traces: CSV export and an ASCII chart so the bench
+// binaries can show each figure's *shape* directly in the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "waveform/trace.h"
+
+namespace cmldft::waveform {
+
+/// Multi-trace CSV: header "time,<name1>,<name2>,...", one row per sample of
+/// the union time grid (traces interpolated).
+std::string TracesToCsv(const std::vector<Trace>& traces);
+
+/// Options for the ASCII chart renderer.
+struct AsciiPlotOptions {
+  int width = 78;    ///< plot area columns
+  int height = 18;   ///< plot area rows
+  bool show_legend = true;
+  /// Forced y-range; when lo >= hi the range is auto-fit with 5% margin.
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+};
+
+/// Render one or more traces into a boxed ASCII chart with y-axis labels.
+/// Each trace gets a distinct glyph; overlapping points show the later one.
+std::string AsciiPlot(const std::vector<Trace>& traces,
+                      const AsciiPlotOptions& options = {});
+
+/// Scatter/line plot of explicit (x, y) series (for swept figures where the
+/// x-axis is frequency or gate count rather than time).
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+std::string AsciiPlotSeries(const std::vector<Series>& series,
+                            const AsciiPlotOptions& options = {});
+
+}  // namespace cmldft::waveform

@@ -1,0 +1,77 @@
+#include "waveform/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cmldft::waveform {
+
+double Trace::At(double t) const {
+  assert(!empty());
+  if (t <= time.front()) return value.front();
+  if (t >= time.back()) return value.back();
+  const auto it = std::lower_bound(time.begin(), time.end(), t);
+  const size_t i = static_cast<size_t>(it - time.begin());
+  const double t0 = time[i - 1], t1 = time[i];
+  const double v0 = value[i - 1], v1 = value[i];
+  if (t1 == t0) return v1;
+  return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+}
+
+Trace Trace::Window(double t0, double t1) const {
+  assert(t0 <= t1);
+  Trace out;
+  out.name = name;
+  if (empty()) return out;
+  const double lo = std::max(t0, time.front());
+  const double hi = std::min(t1, time.back());
+  if (lo > hi) return out;
+  out.time.push_back(lo);
+  out.value.push_back(At(lo));
+  for (size_t i = 0; i < time.size(); ++i) {
+    if (time[i] > lo && time[i] < hi) {
+      out.time.push_back(time[i]);
+      out.value.push_back(value[i]);
+    }
+  }
+  if (hi > lo) {
+    out.time.push_back(hi);
+    out.value.push_back(At(hi));
+  }
+  return out;
+}
+
+double Trace::Min() const {
+  assert(!empty());
+  return *std::min_element(value.begin(), value.end());
+}
+
+double Trace::Max() const {
+  assert(!empty());
+  return *std::max_element(value.begin(), value.end());
+}
+
+double Trace::ArgMin() const {
+  assert(!empty());
+  return time[static_cast<size_t>(
+      std::min_element(value.begin(), value.end()) - value.begin())];
+}
+
+double Trace::ArgMax() const {
+  assert(!empty());
+  return time[static_cast<size_t>(
+      std::max_element(value.begin(), value.end()) - value.begin())];
+}
+
+double Trace::Mean() const {
+  assert(!empty());
+  if (size() == 1) return value[0];
+  double integral = 0.0;
+  for (size_t i = 1; i < size(); ++i) {
+    integral += 0.5 * (value[i] + value[i - 1]) * (time[i] - time[i - 1]);
+  }
+  const double span = time.back() - time.front();
+  return span > 0 ? integral / span : value[0];
+}
+
+}  // namespace cmldft::waveform

@@ -1,0 +1,40 @@
+// Sampled waveform container (non-uniform time grid) with interpolation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cmldft::waveform {
+
+/// A sampled signal: strictly increasing times, one value per time.
+struct Trace {
+  std::string name;
+  std::vector<double> time;
+  std::vector<double> value;
+
+  size_t size() const { return time.size(); }
+  bool empty() const { return time.empty(); }
+
+  /// Linear interpolation; clamps outside the record.
+  double At(double t) const;
+
+  /// First/last sample times (0 when empty).
+  double t_begin() const { return empty() ? 0.0 : time.front(); }
+  double t_end() const { return empty() ? 0.0 : time.back(); }
+
+  /// Sub-trace restricted to [t0, t1] (samples inside, plus interpolated
+  /// endpoints so window edges are exact).
+  Trace Window(double t0, double t1) const;
+
+  /// Extrema over the whole record.
+  double Min() const;
+  double Max() const;
+  /// Time at which the minimum/maximum is attained (first occurrence).
+  double ArgMin() const;
+  double ArgMax() const;
+
+  /// Mean value weighted by sample spacing (time average).
+  double Mean() const;
+};
+
+}  // namespace cmldft::waveform

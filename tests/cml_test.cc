@@ -1,0 +1,140 @@
+// Electrical validation of the CML cell library: DC logic levels, swing,
+// gate truth tables, chain propagation and per-gate delay.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cml/builder.h"
+#include "netlist/netlist.h"
+#include "sim/dc.h"
+#include "sim/transient.h"
+#include "util/units.h"
+#include "waveform/measure.h"
+
+namespace cmldft {
+namespace {
+
+using namespace util::literals;
+using cml::CellBuilder;
+using cml::CmlTechnology;
+using cml::DiffPort;
+
+// DC logical interpretation of a differential port.
+int LogicOf(const sim::DcResult& r, const netlist::Netlist& nl,
+            const DiffPort& port) {
+  const double diff = r.V(nl, port.p_name) - r.V(nl, port.n_name);
+  if (diff > 0.1) return 1;
+  if (diff < -0.1) return 0;
+  return -1;  // undefined
+}
+
+TEST(CmlBuffer, DcLevels) {
+  netlist::Netlist nl;
+  CmlTechnology tech;
+  CellBuilder b(nl, tech);
+  const DiffPort in = b.AddDifferentialDc("in", true);
+  const DiffPort out = b.AddBuffer("buf", in);
+  auto r = sim::SolveDc(nl);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // in = 1: op high (vgnd), opb low (vgnd - swing).
+  EXPECT_NEAR(r->V(nl, out.p_name), tech.v_high(), 0.02);
+  EXPECT_NEAR(r->V(nl, out.n_name), tech.v_low(), 0.03);
+  // Tail current flows through the ON branch's collector resistor.
+  const double swing = r->V(nl, out.p_name) - r->V(nl, out.n_name);
+  EXPECT_NEAR(swing, tech.swing, 0.03);
+}
+
+TEST(CmlBuffer, DcLevelsInverted) {
+  netlist::Netlist nl;
+  CmlTechnology tech;
+  CellBuilder b(nl, tech);
+  const DiffPort in = b.AddDifferentialDc("in", false);
+  const DiffPort out = b.AddBuffer("buf", in);
+  auto r = sim::SolveDc(nl);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(LogicOf(*r, nl, out), 0);
+}
+
+TEST(CmlGates, TruthTables) {
+  // Every input combination for AND/OR/XOR; MUX with both select values.
+  for (int a_val = 0; a_val <= 1; ++a_val) {
+    for (int b_val = 0; b_val <= 1; ++b_val) {
+      netlist::Netlist nl;
+      CmlTechnology tech;
+      CellBuilder bld(nl, tech);
+      const DiffPort a = bld.AddDifferentialDc("a", a_val != 0);
+      const DiffPort bp = bld.AddDifferentialDc("b", b_val != 0);
+      const DiffPort and_out = bld.AddAnd2("uand", a, bp);
+      const DiffPort or_out = bld.AddOr2("uor", a, bp);
+      const DiffPort xor_out = bld.AddXor2("uxor", a, bp);
+      const DiffPort mux_out = bld.AddMux2("umux", a, bp, a);  // sel = a
+      auto r = sim::SolveDc(nl);
+      ASSERT_TRUE(r.ok()) << "a=" << a_val << " b=" << b_val << ": "
+                          << r.status().ToString();
+      EXPECT_EQ(LogicOf(*r, nl, and_out), a_val & b_val)
+          << "AND a=" << a_val << " b=" << b_val;
+      EXPECT_EQ(LogicOf(*r, nl, or_out), a_val | b_val)
+          << "OR a=" << a_val << " b=" << b_val;
+      EXPECT_EQ(LogicOf(*r, nl, xor_out), a_val ^ b_val)
+          << "XOR a=" << a_val << " b=" << b_val;
+      EXPECT_EQ(LogicOf(*r, nl, mux_out), a_val ? a_val : b_val)
+          << "MUX a=" << a_val << " b=" << b_val;
+    }
+  }
+}
+
+TEST(CmlChain, PropagatesAndMeasuresDelay) {
+  netlist::Netlist nl;
+  CmlTechnology tech;
+  CellBuilder b(nl, tech);
+  const DiffPort in = b.AddDifferentialClock("va", 100_MHz);
+  const auto outs = b.AddBufferChain("x", in, 4);
+  sim::TransientOptions opts;
+  opts.tstop = 20_ns;
+  auto r = sim::RunTransient(nl, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Final output swings rail-to-swing.
+  auto v3 = r->Voltage(outs[3].p_name);
+  auto sw = waveform::MeasureSwing(v3, 10_ns, 20_ns);
+  EXPECT_NEAR(sw.vhigh, tech.v_high(), 0.03);
+  EXPECT_NEAR(sw.vlow, tech.v_low(), 0.05);
+  // Per-gate delay: midpoint crossings of successive *loaded* stages (the
+  // final stage is unloaded and not representative — the paper's Fig. 3
+  // chain likewise keeps trailing stages as loads and measures up to op6).
+  auto c1 = waveform::Crossings(r->Voltage(outs[1].p_name), tech.v_mid(),
+                                waveform::Edge::kRising);
+  auto c2 = waveform::Crossings(r->Voltage(outs[2].p_name), tech.v_mid(),
+                                waveform::Edge::kRising);
+  auto delays = waveform::EdgeDelays(c1, c2);
+  ASSERT_FALSE(delays.empty());
+  // A sane CML gate delay: tens of ps (the paper's library: ~53 ps).
+  EXPECT_GT(delays.back(), 5_ps);
+  EXPECT_LT(delays.back(), 300_ps);
+}
+
+TEST(CmlLatch, HoldsState) {
+  netlist::Netlist nl;
+  CmlTechnology tech;
+  CellBuilder b(nl, tech);
+  // d toggles at 100 MHz; clk at 50 MHz -> latch alternates track/hold.
+  const DiffPort d = b.AddDifferentialClock("d", 100_MHz);
+  const DiffPort clk = b.AddDifferentialClock("clk", 50_MHz);
+  const DiffPort q = b.AddLatch("lat", d, clk);
+  sim::TransientOptions opts;
+  opts.tstop = 40_ns;
+  auto r = sim::RunTransient(nl, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto qd = r->Differential(q.p_name, q.n_name);
+  // While clk is low (hold phase, e.g. t in [12, 19] ns with 50 MHz clk
+  // starting high at t=0 after its first edge), q must hold one value even
+  // though d toggles. Check the hold window has no zero crossing.
+  auto window = qd.Window(12.5_ns, 19.5_ns);
+  const bool all_pos = window.Min() > 0.05;
+  const bool all_neg = window.Max() < -0.05;
+  EXPECT_TRUE(all_pos || all_neg)
+      << "latch output crossed zero during hold phase: min=" << window.Min()
+      << " max=" << window.Max();
+}
+
+}  // namespace
+}  // namespace cmldft

@@ -1,0 +1,209 @@
+// Tests for the core DFT layer beyond the detector electricals (covered in
+// detector_test.cc): area model, DC characterization (hysteresis, load
+// sharing) and defect screening classification.
+#include <gtest/gtest.h>
+
+#include "core/area.h"
+#include "core/characterize.h"
+#include "core/diagnosis.h"
+#include "core/response_model.h"
+#include "core/screening.h"
+
+namespace cmldft::core {
+namespace {
+
+TEST(Area, ClosedFormCounts) {
+  EXPECT_EQ(CmlBufferArea().transistors, 3);
+  EXPECT_EQ(Variant1Area(false).transistors, 2);
+  EXPECT_EQ(Variant1Area(true).transistors, 1);
+  EXPECT_EQ(Variant2Area(false).transistors, 3);
+  EXPECT_EQ(Variant2Area(true).transistors, 2);
+  EXPECT_EQ(Variant2Area(true).extra_emitters, 1);
+  EXPECT_EQ(Variant3SharedArea().transistors, 5);
+}
+
+TEST(Area, MultiEmitterAlwaysSmaller) {
+  EXPECT_LT(Variant2Area(true).Units(), Variant2Area(false).Units());
+  EXPECT_LT(Variant3PerGateArea(true).Units(), Variant3PerGateArea(false).Units());
+}
+
+TEST(Area, AmortizationDecreasesWithSharing) {
+  double prev = 1e9;
+  for (int n : {1, 5, 15, 45}) {
+    const double u = Variant3AmortizedUnits(n);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+  // At the paper's 45-gate sharing, the per-gate cost undercuts the
+  // Menon XOR prior art by a wide margin.
+  EXPECT_LT(Variant3AmortizedUnits(45), MenonXorArea().Units() / 3.0);
+}
+
+TEST(Area, AccumulateOperator) {
+  AreaCount a = Variant1Area();
+  a += Variant2Area();
+  EXPECT_EQ(a.transistors, 5);
+  EXPECT_EQ(a.capacitors, 2);
+}
+
+TEST(Characterize, HysteresisExistsAndIsNarrow) {
+  auto h = MeasureComparatorHysteresis({}, 3.7, 0.002);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_GT(h->trip_up, h->trip_down);
+  EXPECT_GT(h->width(), 0.0);
+  EXPECT_LT(h->width(), 0.08);  // tens of mV, not a full swing
+  // Trip points live between the CML rail and vtest.
+  EXPECT_GT(h->trip_down, 3.3);
+  EXPECT_LT(h->trip_up, 3.7);
+  // Feedback levels: fail state above pass state (paper Fig. 12).
+  EXPECT_GT(h->vfb_fail, h->vfb_pass);
+}
+
+TEST(Characterize, LoadSharingMonotoneAndSafeAtPaperScale) {
+  auto h = MeasureComparatorHysteresis({}, 3.7, 0.002);
+  ASSERT_TRUE(h.ok());
+  double prev = 1e9;
+  for (int n : {1, 10, 30, 45}) {
+    auto p = MeasureLoadSharing(n, {}, 3.7);
+    ASSERT_TRUE(p.ok()) << "N=" << n << ": " << p.status().ToString();
+    EXPECT_LT(p->vout, prev) << "vout must decrease with N";
+    prev = p->vout;
+    EXPECT_FALSE(p->flagged) << "fault-free must not flag at N=" << n;
+    EXPECT_GT(p->vout, h->trip_up) << "no false alarms up to the paper's 45";
+  }
+}
+
+TEST(Characterize, SharedLoadStillDetectsFault) {
+  for (int n : {1, 45}) {
+    auto p = MeasureLoadSharing(n, {}, 3.7, /*pipe_on_gate0=*/2e3);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p->flagged) << "pipe must be flagged at N=" << n;
+  }
+}
+
+TEST(Characterize, RejectsBadGateCount) {
+  EXPECT_FALSE(MeasureLoadSharing(0).ok());
+}
+
+TEST(ResponseModel, PredictsFloorAndStabilityShape) {
+  cml::CmlTechnology tech;
+  DetectorOptions dopt;
+  dopt.load_cap = 1e-12;
+  // Monotonicity: bigger amplitude -> faster and deeper.
+  const auto weak = PredictVariant2Response(tech, dopt, 0.35);
+  const auto strong = PredictVariant2Response(tech, dopt, 0.6);
+  EXPECT_LT(strong.t_stability, weak.t_stability);
+  EXPECT_LT(strong.v_floor, weak.v_floor);
+  EXPECT_GT(strong.tap_current, 100 * weak.tap_current);
+  // Capacitor scaling is exactly linear in the model.
+  DetectorOptions big = dopt;
+  big.load_cap = 10e-12;
+  EXPECT_NEAR(PredictVariant2Response(tech, big, 0.5).t_stability,
+              10 * PredictVariant2Response(tech, dopt, 0.5).t_stability,
+              1e-12);
+}
+
+TEST(ResponseModel, ThresholdMatchesSimulatedScan) {
+  // The Fig. 10 simulated scan found the threshold between 0.30 and
+  // 0.33 V amplitude (100 MHz, 1 pF, 250 ns window). The analytic model
+  // must land in the same neighbourhood.
+  cml::CmlTechnology tech;
+  DetectorOptions dopt;
+  dopt.load_cap = 1e-12;
+  const double threshold = PredictDetectionThreshold(tech, dopt, 250e-9);
+  EXPECT_GT(threshold, 0.25);
+  EXPECT_LT(threshold, 0.45);
+  // The normal swing must be safely below it.
+  EXPECT_GT(threshold, tech.swing + 0.03);
+}
+
+TEST(ResponseModel, LongerWindowLowersThreshold) {
+  cml::CmlTechnology tech;
+  DetectorOptions dopt;
+  dopt.load_cap = 1e-12;
+  EXPECT_LT(PredictDetectionThreshold(tech, dopt, 2e-6),
+            PredictDetectionThreshold(tech, dopt, 100e-9));
+}
+
+TEST(Screening, ClassifiesPipeAsAmplitudeOnlyOrWorse) {
+  ScreeningOptions opt;
+  opt.chain_length = 3;
+  opt.sim_time = 40e-9;
+  opt.detector.load_cap = 1e-12;
+  // Restrict the universe to pipes only for a fast, targeted check.
+  opt.enumeration.pipe_values = {2e3};
+  opt.enumeration.transistor_shorts = false;
+  opt.enumeration.transistor_opens = false;
+  opt.enumeration.resistor_shorts = false;
+  opt.enumeration.resistor_opens = false;
+  opt.enumeration.output_bridges = false;
+  auto report = ScreenBufferChain(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->total(), 9);  // one pipe per BJT, three BJTs per buffer
+
+  // Every current-source pipe must at least be caught by the detectors.
+  int amplitude_or_logic = 0;
+  for (const auto& o : report->outcomes) {
+    if (o.defect.device.find("q3") == std::string::npos) continue;
+    const FaultClass c = o.Classify();
+    if (c == FaultClass::kAmplitudeOnly || c == FaultClass::kLogicVisible ||
+        c == FaultClass::kDelayVisible) {
+      ++amplitude_or_logic;
+    }
+    EXPECT_TRUE(o.amplitude_detected)
+        << o.defect.Id() << " should trip the detectors";
+  }
+  EXPECT_GT(amplitude_or_logic, 0);
+  EXPECT_GE(report->CombinedCoverage(), report->ConventionalCoverage());
+}
+
+TEST(Diagnosis, PipesLocalizeToTheirGate) {
+  // Screen pipes only; every amplitude-detected pipe must be attributed to
+  // the gate that hosts it (the per-gate detectors are the localizers).
+  ScreeningOptions opt;
+  opt.chain_length = 3;
+  opt.sim_time = 40e-9;
+  opt.detector.load_cap = 1e-12;
+  opt.enumeration.pipe_values = {2e3};
+  opt.enumeration.transistor_shorts = false;
+  opt.enumeration.transistor_opens = false;
+  opt.enumeration.resistor_shorts = false;
+  opt.enumeration.resistor_opens = false;
+  opt.enumeration.output_bridges = false;
+  auto report = ScreenBufferChain(opt);
+  ASSERT_TRUE(report.ok());
+  const LocalizationSummary summary = EvaluateLocalization(*report);
+  EXPECT_GT(summary.localizable, 0);
+  EXPECT_EQ(summary.correct, summary.localizable)
+      << "every detected pipe should implicate its own gate";
+  // Spot-check one localization's fields.
+  for (const auto& o : report->outcomes) {
+    if (!o.amplitude_detected) continue;
+    const Localization loc = LocalizeFault(*report, o);
+    EXPECT_GE(loc.gate_index, 0);
+    EXPECT_GT(loc.drop, 0.1);
+    EXPECT_GE(loc.margin, 0.0);
+    break;
+  }
+}
+
+TEST(Screening, ReferenceQuantitiesSane) {
+  ScreeningOptions opt;
+  opt.chain_length = 3;
+  opt.sim_time = 40e-9;
+  opt.detector.load_cap = 1e-12;
+  opt.enumeration.pipe_values = {};
+  opt.enumeration.transistor_shorts = false;
+  opt.enumeration.transistor_opens = false;
+  opt.enumeration.resistor_shorts = false;
+  opt.enumeration.resistor_opens = false;
+  opt.enumeration.output_bridges = true;  // tiny universe
+  auto report = ScreenBufferChain(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->nominal_swing, 0.5, 0.15);  // differential p-p ~ 2*swing
+  EXPECT_GT(report->reference_delay, 0.0);
+  EXPECT_GT(report->reference_detector_vout, 3.1);
+}
+
+}  // namespace
+}  // namespace cmldft::core

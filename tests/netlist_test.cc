@@ -1,0 +1,104 @@
+// Unit tests for the netlist container: node table, ground aliases,
+// device ownership/lookup/removal, deep copy, node queries.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "netlist/netlist.h"
+
+namespace cmldft::netlist {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist nl;
+  EXPECT_EQ(nl.AddNode("0"), kGroundNode);
+  EXPECT_EQ(nl.AddNode("gnd"), kGroundNode);
+  EXPECT_EQ(nl.AddNode("GND"), kGroundNode);
+  EXPECT_EQ(nl.num_nodes(), 1);
+}
+
+TEST(Netlist, NodeNamesCaseInsensitiveLookup) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("VOut");
+  EXPECT_EQ(nl.FindNode("vout"), a);
+  EXPECT_EQ(nl.AddNode("vOUT"), a);
+  EXPECT_EQ(nl.NodeName(a), "VOut");
+  EXPECT_EQ(nl.FindNode("missing"), kInvalidNode);
+}
+
+TEST(Netlist, AddUniqueNodeNeverCollides) {
+  Netlist nl;
+  const NodeId a = nl.AddUniqueNode("split");
+  const NodeId b = nl.AddUniqueNode("split");
+  EXPECT_NE(a, b);
+}
+
+TEST(Netlist, DeviceLookupAndRemoval) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("a");
+  nl.AddDevice(std::make_unique<devices::Resistor>("R1", a, kGroundNode, 100));
+  nl.AddDevice(std::make_unique<devices::Resistor>("R2", a, kGroundNode, 200));
+  EXPECT_EQ(nl.num_devices(), 2);
+  EXPECT_NE(nl.FindDevice("R1"), nullptr);
+  ASSERT_TRUE(nl.RemoveDevice("R1").ok());
+  EXPECT_EQ(nl.FindDevice("R1"), nullptr);
+  EXPECT_EQ(nl.num_devices(), 1);
+  // Index of R2 remains valid after removal reindexing.
+  EXPECT_EQ(nl.FindDevice("R2")->name(), "R2");
+  EXPECT_EQ(nl.RemoveDevice("R1").code(), util::StatusCode::kNotFound);
+}
+
+TEST(Netlist, CopyIsDeep) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("a");
+  auto* r = static_cast<devices::Resistor*>(nl.AddDevice(
+      std::make_unique<devices::Resistor>("R1", a, kGroundNode, 100)));
+  Netlist copy = nl;
+  r->set_resistance(999);
+  auto* rc = static_cast<devices::Resistor*>(copy.FindDevice("R1"));
+  ASSERT_NE(rc, nullptr);
+  EXPECT_DOUBLE_EQ(rc->resistance(), 100);
+  // And the copy's device list is independent.
+  ASSERT_TRUE(copy.RemoveDevice("R1").ok());
+  EXPECT_NE(nl.FindDevice("R1"), nullptr);
+}
+
+TEST(Netlist, DevicesOnNode) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("a");
+  const NodeId b = nl.AddNode("b");
+  nl.AddDevice(std::make_unique<devices::Resistor>("R1", a, b, 1));
+  nl.AddDevice(std::make_unique<devices::Resistor>("R2", b, kGroundNode, 1));
+  auto on_b = nl.DevicesOnNode(b);
+  EXPECT_EQ(on_b.size(), 2u);
+  auto on_a = nl.DevicesOnNode(a);
+  ASSERT_EQ(on_a.size(), 1u);
+  EXPECT_EQ(on_a[0], "R1");
+}
+
+TEST(Netlist, TerminalRewiring) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("a");
+  auto* r = nl.AddDevice(
+      std::make_unique<devices::Resistor>("R1", a, kGroundNode, 1));
+  const NodeId fresh = nl.AddUniqueNode("cut");
+  r->set_node(0, fresh);
+  EXPECT_EQ(r->node(0), fresh);
+  EXPECT_EQ(r->node(1), kGroundNode);
+}
+
+TEST(Netlist, SummaryMentionsKinds) {
+  Netlist nl;
+  const NodeId a = nl.AddNode("a");
+  nl.AddDevice(std::make_unique<devices::Resistor>("R1", a, kGroundNode, 1));
+  nl.AddDevice(std::make_unique<devices::VSource>(
+      "V1", a, kGroundNode, devices::Waveform::Dc(1.0)));
+  const std::string s = nl.Summary();
+  EXPECT_NE(s.find("resistor"), std::string::npos);
+  EXPECT_NE(s.find("vsource"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmldft::netlist

@@ -1,0 +1,172 @@
+// Tests for waveform containers and the measurement kit the benches rely
+// on: interpolation, windows, crossings, delays, swing, detector response,
+// CSV/ASCII rendering.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "waveform/measure.h"
+#include "waveform/plot.h"
+#include "waveform/trace.h"
+
+namespace cmldft::waveform {
+namespace {
+
+Trace Ramp() {
+  Trace t;
+  t.name = "ramp";
+  for (int i = 0; i <= 10; ++i) {
+    t.time.push_back(i * 1e-9);
+    t.value.push_back(i * 0.1);
+  }
+  return t;
+}
+
+Trace Sine(double freq, double ampl, double offset, double tstop, int n) {
+  Trace t;
+  t.name = "sin";
+  for (int i = 0; i <= n; ++i) {
+    const double x = tstop * i / n;
+    t.time.push_back(x);
+    t.value.push_back(offset + ampl * std::sin(2 * M_PI * freq * x));
+  }
+  return t;
+}
+
+TEST(Trace, InterpolationAndClamping) {
+  Trace t = Ramp();
+  EXPECT_NEAR(t.At(2.5e-9), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(t.At(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(1.0), 1.0);
+}
+
+TEST(Trace, WindowIncludesInterpolatedEndpoints) {
+  Trace w = Ramp().Window(2.5e-9, 7.5e-9);
+  ASSERT_FALSE(w.empty());
+  EXPECT_NEAR(w.time.front(), 2.5e-9, 1e-18);
+  EXPECT_NEAR(w.value.front(), 0.25, 1e-12);
+  EXPECT_NEAR(w.time.back(), 7.5e-9, 1e-18);
+  EXPECT_NEAR(w.Min(), 0.25, 1e-12);
+  EXPECT_NEAR(w.Max(), 0.75, 1e-12);
+}
+
+TEST(Trace, MeanOfSymmetricSineIsOffset) {
+  Trace t = Sine(1e8, 0.5, 1.0, 2e-8, 2000);  // two full periods
+  EXPECT_NEAR(t.Mean(), 1.0, 1e-3);
+}
+
+TEST(Trace, ArgMinMax) {
+  Trace t = Sine(1e8, 1.0, 0.0, 1e-8, 1000);  // one period
+  EXPECT_NEAR(t.ArgMax(), 2.5e-9, 1e-11);
+  EXPECT_NEAR(t.ArgMin(), 7.5e-9, 1e-11);
+}
+
+TEST(Measure, CrossingsDirectionality) {
+  Trace t = Sine(1e8, 1.0, 0.0, 2e-8, 2000);
+  auto rising = Crossings(t, 0.0, Edge::kRising);
+  auto falling = Crossings(t, 0.0, Edge::kFalling);
+  auto any = Crossings(t, 0.0, Edge::kAny);
+  // Two periods starting at 0 going up: rising at 0(no, starts there), 10ns;
+  // falling at 5, 15 ns.
+  ASSERT_GE(rising.size(), 1u);
+  EXPECT_NEAR(rising.front(), 1e-8, 1e-10);
+  ASSERT_EQ(falling.size(), 2u);
+  EXPECT_NEAR(falling[0], 5e-9, 1e-10);
+  EXPECT_EQ(any.size(), rising.size() + falling.size());
+}
+
+TEST(Measure, CrossingsInterpolateBetweenSamples) {
+  Trace t;
+  t.time = {0.0, 1.0};
+  t.value = {0.0, 2.0};
+  auto c = Crossings(t, 0.5);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 0.25, 1e-12);
+}
+
+TEST(Measure, DifferentialCrossings) {
+  Trace a = Sine(1e8, 1.0, 1.65, 1e-8, 1000);
+  Trace b = Sine(1e8, -1.0, 1.65, 1e-8, 1000);  // complement
+  auto c = DifferentialCrossings(a, b);
+  // a - b = 2 sin: crosses zero at 5 ns (and endpoints).
+  bool has_mid = false;
+  for (double t : c) {
+    if (std::fabs(t - 5e-9) < 1e-10) has_mid = true;
+  }
+  EXPECT_TRUE(has_mid);
+}
+
+TEST(Measure, EdgeDelaysPairing) {
+  std::vector<double> ref = {1e-9, 11e-9};
+  std::vector<double> resp = {1.05e-9, 11.04e-9};
+  auto d = EdgeDelays(ref, resp);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_NEAR(d[0], 0.05e-9, 1e-15);
+  EXPECT_NEAR(d[1], 0.04e-9, 1e-15);
+}
+
+TEST(Measure, EdgeDelaysSkipsUnmatched) {
+  auto d = EdgeDelays({1e-9, 2e-9}, {1.5e-9});
+  ASSERT_EQ(d.size(), 1u);  // second reference edge has no response
+}
+
+TEST(Measure, SwingOfSine) {
+  Trace t = Sine(1e8, 0.125, 3.175, 2e-8, 4000);
+  auto s = MeasureSwing(t, 0, 2e-8);
+  EXPECT_NEAR(s.vhigh, 3.3, 1e-3);
+  EXPECT_NEAR(s.vlow, 3.05, 1e-3);
+  EXPECT_NEAR(s.swing, 0.25, 2e-3);
+}
+
+TEST(Measure, DetectorResponseOfDecay) {
+  // Exponential decay to 2.5 with ripple after settling.
+  Trace t;
+  for (int i = 0; i <= 2000; ++i) {
+    const double x = i * 1e-9;
+    const double base = 2.5 + 0.8 * std::exp(-x / 100e-9);
+    const double ripple = x > 500e-9 ? 0.02 * std::sin(2 * M_PI * 1e8 * x) : 0.0;
+    t.time.push_back(x);
+    t.value.push_back(base + ripple);
+  }
+  auto r = MeasureDetectorResponse(t);
+  // Settles within ~5 time constants.
+  EXPECT_GT(r.t_stability, 100e-9);
+  EXPECT_LT(r.t_stability, 900e-9);
+  EXPECT_NEAR(r.vmax, 2.52, 0.03);
+  EXPECT_NEAR(r.vmin, 2.48, 0.03);
+}
+
+TEST(Measure, DetectorResponseFlatTraceDidNotFire) {
+  Trace t;
+  t.time = {0, 1e-9, 2e-9};
+  t.value = {3.3, 3.3, 3.3};
+  auto r = MeasureDetectorResponse(t);
+  EXPECT_DOUBLE_EQ(r.t_stability, 0.0);
+  EXPECT_DOUBLE_EQ(r.vmax, 3.3);
+}
+
+TEST(Measure, RippleAfter) {
+  Trace t = Sine(1e8, 0.05, 2.5, 1e-7, 5000);
+  EXPECT_NEAR(RippleAfter(t, 5e-8), 0.1, 5e-3);
+}
+
+TEST(Plot, AsciiContainsGlyphAndLegend) {
+  const std::string s = AsciiPlot({Ramp()});
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("ramp"), std::string::npos);
+}
+
+TEST(Plot, EmptyPlotSafe) {
+  EXPECT_EQ(AsciiPlotSeries({}), "(empty plot)\n");
+}
+
+TEST(Plot, CsvHasHeaderAndRows) {
+  Trace t = Ramp();
+  const std::string csv = TracesToCsv({t});
+  EXPECT_EQ(csv.substr(0, 9), "time,ramp");
+  // Header + 11 samples.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 12);
+}
+
+}  // namespace
+}  // namespace cmldft::waveform
