@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ac_noise.dir/ablation_ac_noise.cc.o"
+  "CMakeFiles/ablation_ac_noise.dir/ablation_ac_noise.cc.o.d"
+  "ablation_ac_noise"
+  "ablation_ac_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ac_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_comparison.dir/coverage_comparison.cc.o"
+  "CMakeFiles/coverage_comparison.dir/coverage_comparison.cc.o.d"
+  "coverage_comparison"
+  "coverage_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

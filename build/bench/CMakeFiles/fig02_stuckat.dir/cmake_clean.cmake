@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_stuckat.dir/fig02_stuckat.cc.o"
+  "CMakeFiles/fig02_stuckat.dir/fig02_stuckat.cc.o.d"
+  "fig02_stuckat"
+  "fig02_stuckat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_stuckat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

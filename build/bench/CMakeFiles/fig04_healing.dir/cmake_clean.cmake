@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_healing.dir/fig04_healing.cc.o"
+  "CMakeFiles/fig04_healing.dir/fig04_healing.cc.o.d"
+  "fig04_healing"
+  "fig04_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

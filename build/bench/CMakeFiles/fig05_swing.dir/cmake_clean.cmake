@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_swing.dir/fig05_swing.cc.o"
+  "CMakeFiles/fig05_swing.dir/fig05_swing.cc.o.d"
+  "fig05_swing"
+  "fig05_swing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_swing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

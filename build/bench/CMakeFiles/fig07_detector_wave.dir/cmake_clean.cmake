@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_detector_wave.dir/fig07_detector_wave.cc.o"
+  "CMakeFiles/fig07_detector_wave.dir/fig07_detector_wave.cc.o.d"
+  "fig07_detector_wave"
+  "fig07_detector_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_detector_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_v1_tstability.dir/fig08_v1_tstability.cc.o"
+  "CMakeFiles/fig08_v1_tstability.dir/fig08_v1_tstability.cc.o.d"
+  "fig08_v1_tstability"
+  "fig08_v1_tstability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_v1_tstability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

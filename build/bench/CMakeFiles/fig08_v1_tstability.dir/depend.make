@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_v1_tstability.
+# This may be replaced when dependencies are built.

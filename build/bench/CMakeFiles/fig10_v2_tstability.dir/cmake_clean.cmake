@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_v2_tstability.dir/fig10_v2_tstability.cc.o"
+  "CMakeFiles/fig10_v2_tstability.dir/fig10_v2_tstability.cc.o.d"
+  "fig10_v2_tstability"
+  "fig10_v2_tstability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_v2_tstability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hysteresis.dir/fig12_hysteresis.cc.o"
+  "CMakeFiles/fig12_hysteresis.dir/fig12_hysteresis.cc.o.d"
+  "fig12_hysteresis"
+  "fig12_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

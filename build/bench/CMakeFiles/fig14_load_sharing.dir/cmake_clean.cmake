@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_load_sharing.dir/fig14_load_sharing.cc.o"
+  "CMakeFiles/fig14_load_sharing.dir/fig14_load_sharing.cc.o.d"
+  "fig14_load_sharing"
+  "fig14_load_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_load_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_area_overhead.dir/fig15_area_overhead.cc.o"
+  "CMakeFiles/fig15_area_overhead.dir/fig15_area_overhead.cc.o.d"
+  "fig15_area_overhead"
+  "fig15_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

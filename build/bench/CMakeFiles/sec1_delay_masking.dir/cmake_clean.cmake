@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec1_delay_masking.dir/sec1_delay_masking.cc.o"
+  "CMakeFiles/sec1_delay_masking.dir/sec1_delay_masking.cc.o.d"
+  "sec1_delay_masking"
+  "sec1_delay_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec1_delay_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

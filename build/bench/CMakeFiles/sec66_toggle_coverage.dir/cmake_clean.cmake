@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec66_toggle_coverage.dir/sec66_toggle_coverage.cc.o"
+  "CMakeFiles/sec66_toggle_coverage.dir/sec66_toggle_coverage.cc.o.d"
+  "sec66_toggle_coverage"
+  "sec66_toggle_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec66_toggle_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

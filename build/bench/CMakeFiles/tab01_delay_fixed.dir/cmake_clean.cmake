@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_delay_fixed.dir/tab01_delay_fixed.cc.o"
+  "CMakeFiles/tab01_delay_fixed.dir/tab01_delay_fixed.cc.o.d"
+  "tab01_delay_fixed"
+  "tab01_delay_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_delay_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_delay_actual.dir/tab02_delay_actual.cc.o"
+  "CMakeFiles/tab02_delay_actual.dir/tab02_delay_actual.cc.o.d"
+  "tab02_delay_actual"
+  "tab02_delay_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_delay_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_cli.dir/cmldft_cli.cpp.o"
+  "CMakeFiles/cmldft_cli.dir/cmldft_cli.cpp.o.d"
+  "cmldft_cli"
+  "cmldft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_screening.dir/defect_screening.cpp.o"
+  "CMakeFiles/defect_screening.dir/defect_screening.cpp.o.d"
+  "defect_screening"
+  "defect_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

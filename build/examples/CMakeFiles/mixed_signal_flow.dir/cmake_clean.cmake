@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_signal_flow.dir/mixed_signal_flow.cpp.o"
+  "CMakeFiles/mixed_signal_flow.dir/mixed_signal_flow.cpp.o.d"
+  "mixed_signal_flow"
+  "mixed_signal_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_signal_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

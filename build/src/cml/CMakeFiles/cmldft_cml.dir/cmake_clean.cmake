@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_cml.dir/builder.cc.o"
+  "CMakeFiles/cmldft_cml.dir/builder.cc.o.d"
+  "CMakeFiles/cmldft_cml.dir/synthesis.cc.o"
+  "CMakeFiles/cmldft_cml.dir/synthesis.cc.o.d"
+  "CMakeFiles/cmldft_cml.dir/technology.cc.o"
+  "CMakeFiles/cmldft_cml.dir/technology.cc.o.d"
+  "CMakeFiles/cmldft_cml.dir/variation.cc.o"
+  "CMakeFiles/cmldft_cml.dir/variation.cc.o.d"
+  "libcmldft_cml.a"
+  "libcmldft_cml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

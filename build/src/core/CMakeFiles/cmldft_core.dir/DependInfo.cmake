@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area.cc" "src/core/CMakeFiles/cmldft_core.dir/area.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/area.cc.o.d"
+  "/root/repo/src/core/characterize.cc" "src/core/CMakeFiles/cmldft_core.dir/characterize.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/characterize.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/cmldft_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/diagnosis.cc" "src/core/CMakeFiles/cmldft_core.dir/diagnosis.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/diagnosis.cc.o.d"
+  "/root/repo/src/core/insertion.cc" "src/core/CMakeFiles/cmldft_core.dir/insertion.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/insertion.cc.o.d"
+  "/root/repo/src/core/response_model.cc" "src/core/CMakeFiles/cmldft_core.dir/response_model.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/response_model.cc.o.d"
+  "/root/repo/src/core/screening.cc" "src/core/CMakeFiles/cmldft_core.dir/screening.cc.o" "gcc" "src/core/CMakeFiles/cmldft_core.dir/screening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cml/CMakeFiles/cmldft_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/defects/CMakeFiles/cmldft_defects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmldft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/cmldft_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmldft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmldft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/cmldft_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/cmldft_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cmldft_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_core.dir/area.cc.o"
+  "CMakeFiles/cmldft_core.dir/area.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/characterize.cc.o"
+  "CMakeFiles/cmldft_core.dir/characterize.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/detector.cc.o"
+  "CMakeFiles/cmldft_core.dir/detector.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/diagnosis.cc.o"
+  "CMakeFiles/cmldft_core.dir/diagnosis.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/insertion.cc.o"
+  "CMakeFiles/cmldft_core.dir/insertion.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/response_model.cc.o"
+  "CMakeFiles/cmldft_core.dir/response_model.cc.o.d"
+  "CMakeFiles/cmldft_core.dir/screening.cc.o"
+  "CMakeFiles/cmldft_core.dir/screening.cc.o.d"
+  "libcmldft_core.a"
+  "libcmldft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

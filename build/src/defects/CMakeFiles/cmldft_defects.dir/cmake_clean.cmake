@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_defects.dir/defect.cc.o"
+  "CMakeFiles/cmldft_defects.dir/defect.cc.o.d"
+  "libcmldft_defects.a"
+  "libcmldft_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

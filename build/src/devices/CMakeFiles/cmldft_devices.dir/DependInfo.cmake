@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/bjt.cc" "src/devices/CMakeFiles/cmldft_devices.dir/bjt.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/bjt.cc.o.d"
+  "/root/repo/src/devices/diode.cc" "src/devices/CMakeFiles/cmldft_devices.dir/diode.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/diode.cc.o.d"
+  "/root/repo/src/devices/junction.cc" "src/devices/CMakeFiles/cmldft_devices.dir/junction.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/junction.cc.o.d"
+  "/root/repo/src/devices/passive.cc" "src/devices/CMakeFiles/cmldft_devices.dir/passive.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/passive.cc.o.d"
+  "/root/repo/src/devices/sources.cc" "src/devices/CMakeFiles/cmldft_devices.dir/sources.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/sources.cc.o.d"
+  "/root/repo/src/devices/spice_parser.cc" "src/devices/CMakeFiles/cmldft_devices.dir/spice_parser.cc.o" "gcc" "src/devices/CMakeFiles/cmldft_devices.dir/spice_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/cmldft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmldft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_devices.dir/bjt.cc.o"
+  "CMakeFiles/cmldft_devices.dir/bjt.cc.o.d"
+  "CMakeFiles/cmldft_devices.dir/diode.cc.o"
+  "CMakeFiles/cmldft_devices.dir/diode.cc.o.d"
+  "CMakeFiles/cmldft_devices.dir/junction.cc.o"
+  "CMakeFiles/cmldft_devices.dir/junction.cc.o.d"
+  "CMakeFiles/cmldft_devices.dir/passive.cc.o"
+  "CMakeFiles/cmldft_devices.dir/passive.cc.o.d"
+  "CMakeFiles/cmldft_devices.dir/sources.cc.o"
+  "CMakeFiles/cmldft_devices.dir/sources.cc.o.d"
+  "CMakeFiles/cmldft_devices.dir/spice_parser.cc.o"
+  "CMakeFiles/cmldft_devices.dir/spice_parser.cc.o.d"
+  "libcmldft_devices.a"
+  "libcmldft_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

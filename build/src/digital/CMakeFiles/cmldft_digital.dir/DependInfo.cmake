@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/bench_parser.cc" "src/digital/CMakeFiles/cmldft_digital.dir/bench_parser.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/bench_parser.cc.o.d"
+  "/root/repo/src/digital/faultsim.cc" "src/digital/CMakeFiles/cmldft_digital.dir/faultsim.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/faultsim.cc.o.d"
+  "/root/repo/src/digital/gate_netlist.cc" "src/digital/CMakeFiles/cmldft_digital.dir/gate_netlist.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/gate_netlist.cc.o.d"
+  "/root/repo/src/digital/patterns.cc" "src/digital/CMakeFiles/cmldft_digital.dir/patterns.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/patterns.cc.o.d"
+  "/root/repo/src/digital/simulator.cc" "src/digital/CMakeFiles/cmldft_digital.dir/simulator.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/simulator.cc.o.d"
+  "/root/repo/src/digital/vcd.cc" "src/digital/CMakeFiles/cmldft_digital.dir/vcd.cc.o" "gcc" "src/digital/CMakeFiles/cmldft_digital.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmldft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_digital.dir/bench_parser.cc.o"
+  "CMakeFiles/cmldft_digital.dir/bench_parser.cc.o.d"
+  "CMakeFiles/cmldft_digital.dir/faultsim.cc.o"
+  "CMakeFiles/cmldft_digital.dir/faultsim.cc.o.d"
+  "CMakeFiles/cmldft_digital.dir/gate_netlist.cc.o"
+  "CMakeFiles/cmldft_digital.dir/gate_netlist.cc.o.d"
+  "CMakeFiles/cmldft_digital.dir/patterns.cc.o"
+  "CMakeFiles/cmldft_digital.dir/patterns.cc.o.d"
+  "CMakeFiles/cmldft_digital.dir/simulator.cc.o"
+  "CMakeFiles/cmldft_digital.dir/simulator.cc.o.d"
+  "CMakeFiles/cmldft_digital.dir/vcd.cc.o"
+  "CMakeFiles/cmldft_digital.dir/vcd.cc.o.d"
+  "libcmldft_digital.a"
+  "libcmldft_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

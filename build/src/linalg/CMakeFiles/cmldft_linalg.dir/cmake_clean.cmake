@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_linalg.dir/lu.cc.o"
+  "CMakeFiles/cmldft_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/cmldft_linalg.dir/matrix.cc.o"
+  "CMakeFiles/cmldft_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/cmldft_linalg.dir/sparse.cc.o"
+  "CMakeFiles/cmldft_linalg.dir/sparse.cc.o.d"
+  "libcmldft_linalg.a"
+  "libcmldft_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_netlist.dir/netlist.cc.o"
+  "CMakeFiles/cmldft_netlist.dir/netlist.cc.o.d"
+  "libcmldft_netlist.a"
+  "libcmldft_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac.cc" "src/sim/CMakeFiles/cmldft_sim.dir/ac.cc.o" "gcc" "src/sim/CMakeFiles/cmldft_sim.dir/ac.cc.o.d"
+  "/root/repo/src/sim/dc.cc" "src/sim/CMakeFiles/cmldft_sim.dir/dc.cc.o" "gcc" "src/sim/CMakeFiles/cmldft_sim.dir/dc.cc.o.d"
+  "/root/repo/src/sim/mna.cc" "src/sim/CMakeFiles/cmldft_sim.dir/mna.cc.o" "gcc" "src/sim/CMakeFiles/cmldft_sim.dir/mna.cc.o.d"
+  "/root/repo/src/sim/newton.cc" "src/sim/CMakeFiles/cmldft_sim.dir/newton.cc.o" "gcc" "src/sim/CMakeFiles/cmldft_sim.dir/newton.cc.o.d"
+  "/root/repo/src/sim/transient.cc" "src/sim/CMakeFiles/cmldft_sim.dir/transient.cc.o" "gcc" "src/sim/CMakeFiles/cmldft_sim.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/cmldft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmldft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/cmldft_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmldft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/cmldft_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_sim.dir/ac.cc.o"
+  "CMakeFiles/cmldft_sim.dir/ac.cc.o.d"
+  "CMakeFiles/cmldft_sim.dir/dc.cc.o"
+  "CMakeFiles/cmldft_sim.dir/dc.cc.o.d"
+  "CMakeFiles/cmldft_sim.dir/mna.cc.o"
+  "CMakeFiles/cmldft_sim.dir/mna.cc.o.d"
+  "CMakeFiles/cmldft_sim.dir/newton.cc.o"
+  "CMakeFiles/cmldft_sim.dir/newton.cc.o.d"
+  "CMakeFiles/cmldft_sim.dir/transient.cc.o"
+  "CMakeFiles/cmldft_sim.dir/transient.cc.o.d"
+  "libcmldft_sim.a"
+  "libcmldft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmldft_sim.a"
+)

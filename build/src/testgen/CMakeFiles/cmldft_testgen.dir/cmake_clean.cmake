@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_testgen.dir/amplitude_test.cc.o"
+  "CMakeFiles/cmldft_testgen.dir/amplitude_test.cc.o.d"
+  "libcmldft_testgen.a"
+  "libcmldft_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

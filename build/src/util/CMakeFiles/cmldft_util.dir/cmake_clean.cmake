@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_util.dir/logging.cc.o"
+  "CMakeFiles/cmldft_util.dir/logging.cc.o.d"
+  "CMakeFiles/cmldft_util.dir/rng.cc.o"
+  "CMakeFiles/cmldft_util.dir/rng.cc.o.d"
+  "CMakeFiles/cmldft_util.dir/status.cc.o"
+  "CMakeFiles/cmldft_util.dir/status.cc.o.d"
+  "CMakeFiles/cmldft_util.dir/strings.cc.o"
+  "CMakeFiles/cmldft_util.dir/strings.cc.o.d"
+  "CMakeFiles/cmldft_util.dir/table.cc.o"
+  "CMakeFiles/cmldft_util.dir/table.cc.o.d"
+  "libcmldft_util.a"
+  "libcmldft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

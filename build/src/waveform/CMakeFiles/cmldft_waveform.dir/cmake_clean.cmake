@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmldft_waveform.dir/measure.cc.o"
+  "CMakeFiles/cmldft_waveform.dir/measure.cc.o.d"
+  "CMakeFiles/cmldft_waveform.dir/plot.cc.o"
+  "CMakeFiles/cmldft_waveform.dir/plot.cc.o.d"
+  "CMakeFiles/cmldft_waveform.dir/trace.cc.o"
+  "CMakeFiles/cmldft_waveform.dir/trace.cc.o.d"
+  "libcmldft_waveform.a"
+  "libcmldft_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmldft_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

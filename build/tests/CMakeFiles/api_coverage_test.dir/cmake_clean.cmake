@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_coverage_test.dir/api_coverage_test.cc.o"
+  "CMakeFiles/api_coverage_test.dir/api_coverage_test.cc.o.d"
+  "api_coverage_test"
+  "api_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_test.dir/cml_test.cc.o"
+  "CMakeFiles/cml_test.dir/cml_test.cc.o.d"
+  "cml_test"
+  "cml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defects_test.dir/defects_test.cc.o"
+  "CMakeFiles/defects_test.dir/defects_test.cc.o.d"
+  "defects_test"
+  "defects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

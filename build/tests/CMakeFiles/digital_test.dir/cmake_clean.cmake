@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_test.dir/digital_test.cc.o"
+  "CMakeFiles/digital_test.dir/digital_test.cc.o.d"
+  "digital_test"
+  "digital_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

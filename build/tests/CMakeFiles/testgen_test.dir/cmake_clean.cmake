@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testgen_test.dir/testgen_test.cc.o"
+  "CMakeFiles/testgen_test.dir/testgen_test.cc.o.d"
+  "testgen_test"
+  "testgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
