@@ -1,13 +1,24 @@
 // Engine-performance benchmark (google-benchmark): DC operating point and
-// transient throughput on CML buffer chains of increasing length, and the
-// dense-LU kernel. Not a paper experiment — documents what the substrate
-// costs so sweep sizes in the other benches are explainable.
+// transient throughput on CML buffer chains of increasing length, the
+// LU kernels (dense, sparse, sparse numeric-only refactorization), the
+// parallel defect-screening campaign, and stuck-at fault simulation
+// (serial vs 64-way bit-parallel). Not a paper experiment — documents
+// what the substrate costs so sweep sizes in the other benches are
+// explainable. Record a baseline with:
+//   ./bench/perf_simulator --benchmark_format=json > BENCH_perf.json
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "bench/paper_bench.h"
+#include "core/screening.h"
+#include "digital/faultsim.h"
+#include "digital/patterns.h"
 #include "linalg/lu.h"
 #include "linalg/sparse.h"
 #include "sim/dc.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace cmldft;
@@ -92,6 +103,87 @@ void BM_SparseLuFactorSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseLuFactorSolve)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Numeric-only refactorization vs full factorization on the MNA-like
+// pattern — the Newton-iteration hot path after the first factor.
+void BM_SparseLuRefactor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(42);
+  linalg::SparseBuilder b(n);
+  for (size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const size_t c = rng.NextBelow(n);
+      const double v = rng.NextDouble(-1, 1);
+      b.Add(r, c, v);
+      row_sum += std::abs(v);
+    }
+    b.Add(r, r, row_sum + 1.0);
+  }
+  linalg::Vector rhs(n, 1.0);
+  linalg::SparseLu lu;
+  if (!lu.Factor(b).ok()) state.SkipWithError("factor failed");
+  for (auto _ : state) {
+    if (!lu.Refactor(b).ok()) state.SkipWithError("refactor failed");
+    auto x = lu.Solve(rhs);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Defect-screening campaign throughput: the paper's coverage sweep on a
+// small universe. Arg = worker threads (1 = serial reference, 0 = auto).
+void BM_DefectScreening(benchmark::State& state) {
+  core::ScreeningOptions opt;
+  opt.chain_length = 2;
+  opt.sim_time = 40e-9;
+  opt.detector.load_cap = 1e-12;
+  opt.enumeration.pipe_values = {2e3, 4e3};
+  opt.enumeration.transistor_shorts = false;
+  opt.enumeration.transistor_opens = false;
+  opt.enumeration.resistor_shorts = false;
+  opt.enumeration.resistor_opens = false;
+  opt.enumeration.output_bridges = false;
+  opt.threads = static_cast<int>(state.range(0));
+  int64_t defects = 0;
+  for (auto _ : state) {
+    auto report = core::ScreenBufferChain(opt);
+    if (!report.ok()) state.SkipWithError("screening failed");
+    defects += report->total();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(defects);
+  state.SetLabel(opt.threads == 1
+                     ? "serial"
+                     : std::to_string(util::ResolveThreadCount(
+                           SIZE_MAX, opt.threads)) + " threads");
+}
+BENCHMARK(BM_DefectScreening)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Stuck-at fault-simulation throughput on a >500-fault netlist.
+// Arg 0 = serial reference, 1 = bit-parallel single-threaded,
+// 2 = bit-parallel all cores.
+void BM_StuckAtFaultSim(benchmark::State& state) {
+  const digital::GateNetlist nl = digital::MakeScrambler(128);
+  const auto faults = digital::EnumerateStuckAtFaults(nl);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), 128, 0xACE1u);
+  digital::FaultSimOptions opt;
+  opt.bit_parallel = state.range(0) != 0;
+  opt.threads = state.range(0) == 1 ? 1 : 0;
+  int64_t sims = 0;
+  for (auto _ : state) {
+    auto r = digital::RunStuckAtFaultSim(nl, faults, patterns, opt);
+    benchmark::DoNotOptimize(r);
+    sims += r.total_faults;
+  }
+  state.SetItemsProcessed(sims);
+  state.SetLabel(state.range(0) == 0
+                     ? "serial/" + std::to_string(faults.size()) + " faults"
+                     : (state.range(0) == 1 ? "packed x1" : "packed all-cores"));
+}
+BENCHMARK(BM_StuckAtFaultSim)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DcSolverComparison(benchmark::State& state) {
   // 32-buffer chain (133 unknowns) with the solver forced each way.

@@ -77,17 +77,18 @@ int main() {
   cml::VariationModel var;
   util::Rng rng(2026);
 
-  std::vector<double> good, bad;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    std::vector<cml::CmlTechnology> techs;
-    techs.reserve(kChain);
-    for (int i = 0; i < kChain; ++i) {
-      techs.push_back(cml::SampleTechnology(nominal, var, rng));
-    }
-    good.push_back(ChainDelay(techs));
+  // Technologies are drawn serially up front (identical stream to the old
+  // serial loop); the transient sweeps then run on all cores.
+  std::vector<std::vector<cml::CmlTechnology>> trials =
+      cml::SampleTrialTechnologies(nominal, var, kTrials, kChain, rng);
+  auto delay_fn = [](const std::vector<cml::CmlTechnology>& techs, int) {
+    return ChainDelay(techs);
+  };
+  const std::vector<double> good = cml::MonteCarloSweep(trials, delay_fn);
+  for (auto& techs : trials) {
     techs[kChain / 2] = cml::SlowGate(techs[kChain / 2], 2.0);
-    bad.push_back(ChainDelay(techs));
   }
+  const std::vector<double> bad = cml::MonteCarloSweep(trials, delay_fn);
 
   const Stats g = Summarize(good);
   const Stats b = Summarize(bad);

@@ -249,5 +249,10 @@ bench/CMakeFiles/perf_simulator.dir/perf_simulator.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/options.h \
  /root/repo/src/waveform/trace.h /root/repo/src/waveform/measure.h \
+ /root/repo/src/core/screening.h /root/repo/src/digital/faultsim.h \
+ /root/repo/src/digital/gate_netlist.h /root/repo/src/digital/simulator.h \
+ /root/repo/src/digital/logic.h /root/repo/src/digital/patterns.h \
  /root/repo/src/linalg/lu.h /root/repo/src/linalg/sparse.h \
+ /root/repo/src/util/parallel.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/util/rng.h

@@ -247,5 +247,6 @@ bench/CMakeFiles/sec1_delay_masking.dir/sec1_delay_masking.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/sim/options.h /root/repo/src/waveform/trace.h \
  /root/repo/src/waveform/measure.h /root/repo/src/cml/variation.h \
- /root/repo/src/util/rng.h /root/repo/src/util/strings.h \
- /root/repo/src/util/table.h
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/util/rng.h \
+ /root/repo/src/util/strings.h /root/repo/src/util/table.h

@@ -247,4 +247,6 @@ src/core/CMakeFiles/cmldft_core.dir/screening.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/waveform/trace.h /root/repo/src/util/logging.h \
+ /root/repo/src/util/parallel.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/util/strings.h /root/repo/src/waveform/measure.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/cmldft_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/cmldft_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/util/CMakeFiles/cmldft_util.dir/parallel.cc.o" "gcc" "src/util/CMakeFiles/cmldft_util.dir/parallel.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/cmldft_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/cmldft_util.dir/rng.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/cmldft_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/cmldft_util.dir/status.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/cmldft_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/cmldft_util.dir/strings.cc.o.d"

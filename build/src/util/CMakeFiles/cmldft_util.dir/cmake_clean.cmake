@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cmldft_util.dir/logging.cc.o"
   "CMakeFiles/cmldft_util.dir/logging.cc.o.d"
+  "CMakeFiles/cmldft_util.dir/parallel.cc.o"
+  "CMakeFiles/cmldft_util.dir/parallel.cc.o.d"
   "CMakeFiles/cmldft_util.dir/rng.cc.o"
   "CMakeFiles/cmldft_util.dir/rng.cc.o.d"
   "CMakeFiles/cmldft_util.dir/status.cc.o"

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cmldft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cml/CMakeFiles/cmldft_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/defects/CMakeFiles/cmldft_defects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmldft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/cmldft_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cmldft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/cmldft_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cmldft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmldft_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/cmldft_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cmldft_testgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

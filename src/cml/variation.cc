@@ -1,5 +1,7 @@
 #include "cml/variation.h"
 
+#include "util/parallel.h"
+
 namespace cmldft::cml {
 
 CmlTechnology SampleTechnology(const CmlTechnology& nominal,
@@ -20,6 +22,33 @@ CmlTechnology SlowGate(const CmlTechnology& nominal, double delay_factor) {
   // junction share (empirically calibrated against the chain delay).
   t.wire_cap *= 1.0 + (delay_factor - 1.0) * 2.2;
   return t;
+}
+
+std::vector<std::vector<CmlTechnology>> SampleTrialTechnologies(
+    const CmlTechnology& nominal, const VariationModel& model, int trials,
+    int gates_per_trial, util::Rng& rng) {
+  std::vector<std::vector<CmlTechnology>> out;
+  out.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    std::vector<CmlTechnology> techs;
+    techs.reserve(static_cast<size_t>(gates_per_trial));
+    for (int g = 0; g < gates_per_trial; ++g) {
+      techs.push_back(SampleTechnology(nominal, model, rng));
+    }
+    out.push_back(std::move(techs));
+  }
+  return out;
+}
+
+std::vector<double> MonteCarloSweep(
+    const std::vector<std::vector<CmlTechnology>>& trials,
+    const std::function<double(const std::vector<CmlTechnology>& techs,
+                               int trial)>& trial_fn,
+    int threads) {
+  return util::ParallelMap<double>(
+      trials.size(),
+      [&](size_t t) { return trial_fn(trials[t], static_cast<int>(t)); },
+      threads);
 }
 
 }  // namespace cmldft::cml

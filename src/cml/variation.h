@@ -5,6 +5,9 @@
 // slower than nominal".
 #pragma once
 
+#include <functional>
+#include <vector>
+
 #include "cml/technology.h"
 #include "util/rng.h"
 
@@ -24,5 +27,24 @@ CmlTechnology SampleTechnology(const CmlTechnology& nominal,
 /// A deliberately slow gate: wire capacitance scaled so the gate's delay is
 /// roughly `delay_factor` x nominal (the "faulty gate going twice slower").
 CmlTechnology SlowGate(const CmlTechnology& nominal, double delay_factor);
+
+/// Pre-draw the per-gate technology variants for a whole Monte-Carlo
+/// campaign: `trials` trials of `gates_per_trial` draws each, consumed
+/// from `rng` in trial-major order. Sampling is done serially up front so
+/// the stream of draws — and therefore every sampled technology — is
+/// identical to a legacy serial sweep regardless of how the trials are
+/// later evaluated.
+std::vector<std::vector<CmlTechnology>> SampleTrialTechnologies(
+    const CmlTechnology& nominal, const VariationModel& model, int trials,
+    int gates_per_trial, util::Rng& rng);
+
+/// Evaluate `trial_fn` over all pre-sampled trials in parallel (threads:
+/// 0 = auto via CMLDFT_THREADS/hardware, 1 = serial reference). Results
+/// keep trial order; trial_fn must be a pure function of its inputs.
+std::vector<double> MonteCarloSweep(
+    const std::vector<std::vector<CmlTechnology>>& trials,
+    const std::function<double(const std::vector<CmlTechnology>& techs,
+                               int trial)>& trial_fn,
+    int threads = 0);
 
 }  // namespace cmldft::cml

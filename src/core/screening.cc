@@ -6,6 +6,7 @@
 #include "cml/builder.h"
 #include "sim/transient.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "waveform/measure.h"
 
@@ -173,36 +174,51 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
   report.reference_supply_current = ref.supply_current;
   report.reference_detector_vouts = ref.detector_vouts;
 
-  for (const defects::Defect& defect : universe) {
-    DefectOutcome outcome;
-    outcome.defect = defect;
-    auto faulty = defects::WithDefect(circ.nl, defect);
-    if (!faulty.ok()) return faulty.status();
-    auto run = sim::RunTransient(*faulty, topts);
-    if (!run.ok()) {
-      outcome.converged = false;
-      report.outcomes.push_back(std::move(outcome));
-      continue;
-    }
-    outcome.converged = true;
-    const Measured m = MeasureRun(*run, circ, tech, t0, t1);
-    outcome.logic_fail =
-        !m.toggling ||
-        m.primary_swing < options.logic_swing_fraction * ref.primary_swing ||
-        m.num_crossings * 2 < ref.num_crossings;
-    outcome.delay_fail =
-        !outcome.logic_fail &&
-        std::fabs(m.median_delay - ref.median_delay) > options.delay_threshold;
-    outcome.iddq_fail =
-        std::fabs(m.supply_current - ref.supply_current) >
-        options.iddq_fraction * ref.supply_current;
-    outcome.supply_current = m.supply_current;
-    outcome.amplitude_detected =
-        m.min_detector_vout < ref.min_detector_vout - options.detector_drop;
-    outcome.max_gate_amplitude = m.max_gate_amplitude;
-    outcome.min_detector_vout = m.min_detector_vout;
-    outcome.detector_vouts = m.detector_vouts;
-    report.outcomes.push_back(std::move(outcome));
+  // Defect runs are embarrassingly parallel: each one copies the netlist,
+  // injects its defect, and simulates a private MnaSystem. The shared
+  // inputs (circ, ref, options) are read-only, and every worker writes
+  // only its own outcome slot, so the sweep is deterministic for any
+  // thread count.
+  std::vector<util::Status> inject_errors(universe.size(), util::Status::Ok());
+  report.outcomes = util::ParallelMap<DefectOutcome>(
+      universe.size(),
+      [&](size_t d) {
+        const defects::Defect& defect = universe[d];
+        DefectOutcome outcome;
+        outcome.defect = defect;
+        auto faulty = defects::WithDefect(circ.nl, defect);
+        if (!faulty.ok()) {
+          inject_errors[d] = faulty.status();
+          return outcome;
+        }
+        auto run = sim::RunTransient(*faulty, topts);
+        if (!run.ok()) {
+          outcome.converged = false;
+          return outcome;
+        }
+        outcome.converged = true;
+        const Measured m = MeasureRun(*run, circ, tech, t0, t1);
+        outcome.logic_fail =
+            !m.toggling ||
+            m.primary_swing < options.logic_swing_fraction * ref.primary_swing ||
+            m.num_crossings * 2 < ref.num_crossings;
+        outcome.delay_fail =
+            !outcome.logic_fail &&
+            std::fabs(m.median_delay - ref.median_delay) > options.delay_threshold;
+        outcome.iddq_fail =
+            std::fabs(m.supply_current - ref.supply_current) >
+            options.iddq_fraction * ref.supply_current;
+        outcome.supply_current = m.supply_current;
+        outcome.amplitude_detected =
+            m.min_detector_vout < ref.min_detector_vout - options.detector_drop;
+        outcome.max_gate_amplitude = m.max_gate_amplitude;
+        outcome.min_detector_vout = m.min_detector_vout;
+        outcome.detector_vouts = m.detector_vouts;
+        return outcome;
+      },
+      options.threads);
+  for (const util::Status& st : inject_errors) {
+    if (!st.ok()) return st;
   }
   return report;
 }

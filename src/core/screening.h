@@ -48,6 +48,11 @@ struct ScreeningOptions {
   /// during screening).
   DetectorOptions detector;
   defects::EnumerationOptions enumeration;
+  /// Worker threads for the defect sweep: 0 = auto (CMLDFT_THREADS or
+  /// hardware concurrency), 1 = the serial reference path. Every defect
+  /// simulates an independent netlist copy, so classifications are
+  /// bit-identical for any thread count.
+  int threads = 0;
 };
 
 struct DefectOutcome {

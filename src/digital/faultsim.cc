@@ -1,8 +1,11 @@
 #include "digital/faultsim.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 #include "digital/patterns.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace cmldft::digital {
@@ -31,7 +34,7 @@ std::vector<Logic> ApplyPattern(LogicSimulator& sim,
 }
 }  // namespace
 
-FaultSimResult RunStuckAtFaultSim(
+FaultSimResult RunStuckAtFaultSimSerial(
     const GateNetlist& netlist, const std::vector<StuckAtFault>& faults,
     const std::vector<std::vector<Logic>>& patterns) {
   FaultSimResult result;
@@ -63,6 +66,186 @@ FaultSimResult RunStuckAtFaultSim(
         break;
       }
     }
+  }
+  return result;
+}
+
+namespace {
+
+// 64 machines per word, two planes per signal: bit m of `one` set means
+// machine m sees logic 1, bit m of `zero` means logic 0; neither bit set
+// means X. (Both set is unrepresentable by construction — every gate rule
+// below preserves disjointness.) This is the packed form of the 3-valued
+// Logic truth tables in digital/logic.h.
+struct PackedLogic {
+  uint64_t one = 0;
+  uint64_t zero = 0;
+};
+
+inline PackedLogic Broadcast(Logic v) {
+  PackedLogic p;
+  if (v == Logic::k1) p.one = ~uint64_t{0};
+  if (v == Logic::k0) p.zero = ~uint64_t{0};
+  return p;
+}
+
+inline PackedLogic PackedNot(PackedLogic a) { return {a.zero, a.one}; }
+inline PackedLogic PackedAnd(PackedLogic a, PackedLogic b) {
+  return {a.one & b.one, a.zero | b.zero};
+}
+inline PackedLogic PackedOr(PackedLogic a, PackedLogic b) {
+  return {a.one | b.one, a.zero & b.zero};
+}
+inline PackedLogic PackedXor(PackedLogic a, PackedLogic b) {
+  return {(a.one & b.zero) | (a.zero & b.one),
+          (a.one & b.one) | (a.zero & b.zero)};
+}
+// sel ? a : b with X-pessimism, matching Mux(): an X select resolves only
+// where a and b agree.
+inline PackedLogic PackedMux(PackedLogic s, PackedLogic a, PackedLogic b) {
+  const uint64_t sx = ~(s.one | s.zero);
+  return {(s.one & a.one) | (s.zero & b.one) | (sx & a.one & b.one),
+          (s.one & a.zero) | (s.zero & b.zero) | (sx & a.zero & b.zero)};
+}
+
+// Simulates one batch of up to 64 faults over the full pattern sequence,
+// writing 1-based first-detection pattern indices into detected_at (0 =
+// undetected). Replicates LogicSimulator semantics exactly: the stuck-at
+// overlay applies at the faulty signal's slot in topological order during
+// Evaluate and at the latch point during ClockEdge; detection requires
+// both the good and the faulty output to be known and different.
+void SimulatePackedBatch(const GateNetlist& netlist,
+                         const std::vector<SignalId>& order,
+                         const std::vector<StuckAtFault>& faults,
+                         size_t batch_begin, size_t batch_size,
+                         const std::vector<std::vector<Logic>>& patterns,
+                         const std::vector<std::vector<Logic>>& good_outs,
+                         int* detected_at) {
+  const size_t num_signals = static_cast<size_t>(netlist.num_signals());
+  // Per-signal stuck-at masks for this batch (bit m = machine m's fault).
+  std::vector<uint64_t> sa1(num_signals, 0), sa0(num_signals, 0);
+  for (size_t m = 0; m < batch_size; ++m) {
+    const StuckAtFault& f = faults[batch_begin + m];
+    const uint64_t bit = uint64_t{1} << m;
+    (f.stuck_value ? sa1 : sa0)[static_cast<size_t>(f.signal)] |= bit;
+  }
+  const uint64_t live =
+      batch_size == 64 ? ~uint64_t{0} : (uint64_t{1} << batch_size) - 1;
+
+  std::vector<PackedLogic> values(num_signals);  // all-X start, as Reset()
+  std::vector<PackedLogic> dff_next(num_signals);
+
+  auto apply_fault = [&](SignalId id, PackedLogic v) {
+    const size_t s = static_cast<size_t>(id);
+    v.one = (v.one & ~sa0[s]) | sa1[s];
+    v.zero = (v.zero & ~sa1[s]) | sa0[s];
+    return v;
+  };
+
+  auto evaluate = [&]() {
+    for (SignalId id : order) {
+      const Gate& g = netlist.gate(id);
+      PackedLogic v = values[static_cast<size_t>(id)];
+      auto in = [&](int k) {
+        return values[static_cast<size_t>(g.fanin[static_cast<size_t>(k)])];
+      };
+      switch (g.type) {
+        case GateType::kInput:
+        case GateType::kDff:
+          break;  // sources keep their value
+        case GateType::kBuf: v = in(0); break;
+        case GateType::kNot: v = PackedNot(in(0)); break;
+        case GateType::kAnd2: v = PackedAnd(in(0), in(1)); break;
+        case GateType::kOr2: v = PackedOr(in(0), in(1)); break;
+        case GateType::kXor2: v = PackedXor(in(0), in(1)); break;
+        case GateType::kMux2: v = PackedMux(in(0), in(1), in(2)); break;
+      }
+      values[static_cast<size_t>(id)] = apply_fault(id, v);
+    }
+  };
+
+  const auto& inputs = netlist.inputs();
+  const auto& outputs = netlist.outputs();
+  const auto& dffs = netlist.dffs();
+  uint64_t detected_mask = 0;
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    assert(patterns[p].size() == inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      values[static_cast<size_t>(inputs[i])] = Broadcast(patterns[p][i]);
+    }
+    evaluate();
+
+    uint64_t diff = 0;
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      const Logic g = good_outs[p][o];
+      const PackedLogic& f = values[static_cast<size_t>(outputs[o])];
+      if (g == Logic::k1) diff |= f.zero;
+      else if (g == Logic::k0) diff |= f.one;
+    }
+    uint64_t newly = diff & live & ~detected_mask;
+    while (newly != 0) {
+      const int m = __builtin_ctzll(newly);
+      newly &= newly - 1;
+      detected_at[batch_begin + static_cast<size_t>(m)] =
+          static_cast<int>(p) + 1;
+    }
+    detected_mask |= diff & live;
+    if (detected_mask == live) break;  // every machine in the word detected
+
+    if (!dffs.empty()) {
+      for (SignalId d : dffs) {
+        const Gate& g = netlist.gate(d);
+        dff_next[static_cast<size_t>(d)] =
+            apply_fault(d, values[static_cast<size_t>(g.fanin[0])]);
+      }
+      for (SignalId d : dffs) {
+        values[static_cast<size_t>(d)] = dff_next[static_cast<size_t>(d)];
+      }
+      evaluate();
+    }
+  }
+}
+
+}  // namespace
+
+FaultSimResult RunStuckAtFaultSim(
+    const GateNetlist& netlist, const std::vector<StuckAtFault>& faults,
+    const std::vector<std::vector<Logic>>& patterns,
+    const FaultSimOptions& options) {
+  if (!options.bit_parallel) {
+    return RunStuckAtFaultSimSerial(netlist, faults, patterns);
+  }
+  FaultSimResult result;
+  result.total_faults = static_cast<int>(faults.size());
+  result.detected_at.assign(faults.size(), 0);
+  if (faults.empty()) return result;
+
+  // Good-machine responses (serial 3-valued simulation, once).
+  LogicSimulator good(netlist);
+  std::vector<std::vector<Logic>> good_outs;
+  good_outs.reserve(patterns.size());
+  for (const auto& p : patterns) good_outs.push_back(ApplyPattern(good, p));
+
+  auto order_or = netlist.TopologicalOrder();
+  assert(order_or.ok() && "netlist has a combinational loop");
+  const std::vector<SignalId> order = std::move(order_or).value();
+
+  // Batches are independent packed simulations writing disjoint slices of
+  // detected_at — parallelize across them.
+  const size_t num_batches = (faults.size() + 63) / 64;
+  util::ParallelFor(
+      num_batches,
+      [&](size_t b) {
+        const size_t begin = b * 64;
+        const size_t size = std::min<size_t>(64, faults.size() - begin);
+        SimulatePackedBatch(netlist, order, faults, begin, size, patterns,
+                            good_outs, result.detected_at.data());
+      },
+      options.threads);
+
+  for (int at : result.detected_at) {
+    if (at != 0) ++result.detected;
   }
   return result;
 }

@@ -1,5 +1,6 @@
-// Serial stuck-at fault simulation and toggle-coverage / initialization
-// analyses over gate netlists.
+// Stuck-at fault simulation (bit-parallel PPSFP by default, serial
+// reference path retained) and toggle-coverage / initialization analyses
+// over gate netlists.
 #pragma once
 
 #include <vector>
@@ -24,13 +25,35 @@ struct FaultSimResult {
   }
 };
 
-/// Serial stuck-at fault simulation: run the pattern sequence on the good
-/// machine and on each faulty machine; a fault is detected when any primary
-/// output differs with both values known. For sequential circuits each
-/// pattern is one clock cycle; state starts at X.
+struct FaultSimOptions {
+  /// 64 faulty machines per packed simulation pass (PPSFP). Disable to run
+  /// the one-fault-at-a-time reference path.
+  bool bit_parallel = true;
+  /// Worker threads over fault batches: 0 = auto (CMLDFT_THREADS /
+  /// hardware), 1 = single-threaded. Results are identical either way.
+  int threads = 0;
+};
+
+/// Stuck-at fault simulation: run the pattern sequence on the good machine
+/// and on each faulty machine; a fault is detected when any primary output
+/// differs with both values known. For sequential circuits each pattern is
+/// one clock cycle; state starts at X.
+///
+/// The default engine packs 64 faulty machines into uint64_t value planes
+/// (two planes encode the 0/1/X logic of 64 machines) and simulates them
+/// in one pass per batch; `detected_at` is bit-identical to the serial
+/// reference for every circuit and pattern set.
 FaultSimResult RunStuckAtFaultSim(const GateNetlist& netlist,
                                   const std::vector<StuckAtFault>& faults,
-                                  const std::vector<std::vector<Logic>>& patterns);
+                                  const std::vector<std::vector<Logic>>& patterns,
+                                  const FaultSimOptions& options = {});
+
+/// The serial one-fault-at-a-time reference implementation (used by the
+/// determinism tests to verify the packed engine, and by
+/// RunStuckAtFaultSim when options.bit_parallel is false).
+FaultSimResult RunStuckAtFaultSimSerial(
+    const GateNetlist& netlist, const std::vector<StuckAtFault>& faults,
+    const std::vector<std::vector<Logic>>& patterns);
 
 /// Toggle coverage as a function of applied random patterns (§6.6: "an
 /// effective method to obtain a good toggle coverage in a sequential

@@ -149,6 +149,82 @@ util::Status SparseLu::Factor(const SparseBuilder& builder) {
   return util::Status::Ok();
 }
 
+util::Status SparseLu::Refactor(const SparseBuilder& builder) {
+  if (!factored_ || builder.dimension() != n_ || n_ == 0) {
+    return Factor(builder);
+  }
+  // Load the working matrix. Unlike Factor(), exact-zero entries are kept:
+  // a value that cancelled to zero on the previous assembly may be nonzero
+  // now, and the stored pivot order must still see the full stamp pattern.
+  std::vector<std::unordered_map<size_t, double>> work(n_);
+  std::vector<std::unordered_set<size_t>> col_rows(n_);
+  double max_entry = 0.0;
+  builder.ForEach([&](size_t r, size_t c, double v) {
+    work[r][c] = v;
+    col_rows[c].insert(r);
+    max_entry = std::max(max_entry, std::fabs(v));
+  });
+  const double floor_mag =
+      (max_entry > 0 ? max_entry : 1.0) * options_.singularity_floor;
+
+  factored_ = false;
+  std::vector<char> row_active(n_, 1);
+
+  for (size_t k = 0; k < n_; ++k) {
+    const size_t r = row_of_step_[k];
+    const size_t c = col_of_step_[k];
+    auto pit = work[r].find(c);
+    if (pit == work[r].end()) return Factor(builder);
+    const double pivot = pit->second;
+    // Stability guard: the stored pivot choice must still be acceptable.
+    // Tiny relative to its own row means the old order now amplifies
+    // roundoff — redo the full pivot search instead of producing garbage.
+    double row_max = 0.0;
+    for (const auto& [cc, vv] : work[r]) row_max = std::max(row_max, std::fabs(vv));
+    if (std::fabs(pivot) <= floor_mag ||
+        std::fabs(pivot) < 1e-6 * row_max) {
+      return Factor(builder);
+    }
+    pivots_[k] = pivot;
+
+    auto& urow = upper_[k];
+    urow.clear();
+    urow.reserve(work[r].size() - 1);
+    for (const auto& [cc, vv] : work[r]) {
+      if (cc != c) urow.push_back({cc, vv});
+    }
+
+    auto& lcol = lower_[k];
+    lcol.clear();
+    std::vector<size_t> targets(col_rows[c].begin(), col_rows[c].end());
+    std::sort(targets.begin(), targets.end());  // deterministic
+    for (size_t i : targets) {
+      if (i == r || !row_active[i]) continue;
+      auto it = work[i].find(c);
+      if (it == work[i].end()) continue;
+      const double m = it->second / pivot;
+      work[i].erase(it);
+      lcol.push_back({i, m});
+      if (m == 0.0) continue;
+      for (const auto& entry : urow) {
+        auto [fit, inserted] = work[i].try_emplace(entry.col, 0.0);
+        fit->second -= m * entry.value;
+        if (inserted) col_rows[entry.col].insert(i);
+      }
+    }
+
+    for (const auto& [cc, vv] : work[r]) {
+      (void)vv;
+      col_rows[cc].erase(r);
+    }
+    work[r].clear();
+    col_rows[c].clear();
+    row_active[r] = 0;
+  }
+  factored_ = true;
+  return util::Status::Ok();
+}
+
 util::StatusOr<Vector> SparseLu::Solve(const Vector& b) const {
   if (!factored_) {
     return util::Status::FailedPrecondition("Solve called before Factor");

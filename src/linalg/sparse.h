@@ -66,7 +66,20 @@ class SparseLu {
   explicit SparseLu(const Options& options) : options_(options) {}
 
   /// Factor the system in `builder`. O(sum of row^2 of the filled rows).
+  /// Performs full Markowitz pivot selection with threshold pivoting.
   util::Status Factor(const SparseBuilder& builder);
+
+  /// Numeric-only refactorization: reuse the pivot order and symbolic
+  /// structure discovered by the last successful Factor() and recompute
+  /// the factors for new values on the *same sparsity pattern* (the MNA
+  /// case — the Jacobian structure is fixed across Newton iterations and
+  /// time steps, only values move). Skips the per-step column-maximum
+  /// scan and Markowitz search that dominate Factor(). Falls back to a
+  /// full Factor() transparently when there is no prior factorization,
+  /// the dimension changed, or a reused pivot has become numerically
+  /// unacceptable (absent, below the singularity floor, or tiny relative
+  /// to its row).
+  util::Status Refactor(const SparseBuilder& builder);
 
   /// Solve A x = b with the stored factors.
   util::StatusOr<Vector> Solve(const Vector& b) const;

@@ -56,6 +56,12 @@ class MnaSystem : public netlist::StampContext {
   const linalg::SparseBuilder& sparse_jacobian() const { return sparse_jac_; }
   const linalg::Vector& rhs() const { return rhs_; }
 
+  /// Persistent sparse solver: because the MNA sparsity pattern is fixed
+  /// for the lifetime of this system, the solver's symbolic factorization
+  /// and pivot order survive across Newton iterations *and* timepoints —
+  /// callers use SparseLu::Refactor() for numeric-only refactorization.
+  linalg::SparseLu& sparse_solver() { return sparse_lu_; }
+
   // --- integrator state --------------------------------------------------
   /// Promote the states written during the last converged solve to
   /// "previous" (call when a timepoint is accepted).
@@ -117,6 +123,7 @@ class MnaSystem : public netlist::StampContext {
   const linalg::Vector* iterate_ = nullptr;
   bool sparse_ = false;
   linalg::SparseBuilder sparse_jac_{0};
+  linalg::SparseLu sparse_lu_;
   linalg::Matrix jacobian_;
   linalg::Vector rhs_;
   std::vector<double> prev_states_;

@@ -23,13 +23,16 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
       (opts.solver == NewtonOptions::Solver::kAuto && n > 256);
   mna.set_sparse(use_sparse);
   linalg::LuFactorization lu;
-  linalg::SparseLu sparse_lu;
+  // The sparse solver lives in the MnaSystem so its symbolic factorization
+  // and pivot order are reused across iterations and timepoints; Refactor
+  // does a full Factor on first use or when a reused pivot goes bad.
+  linalg::SparseLu& sparse_lu = mna.sparse_solver();
   const int n_nodes = mna.num_node_unknowns();
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     mna.set_first_iteration(iter == 0);
     mna.Assemble(x);
-    util::Status st = use_sparse ? sparse_lu.Factor(mna.sparse_jacobian())
+    util::Status st = use_sparse ? sparse_lu.Refactor(mna.sparse_jacobian())
                                  : lu.Factor(mna.jacobian());
     if (!st.ok()) {
       return util::Status::SingularMatrix(util::StrPrintf(

@@ -17,18 +17,29 @@ namespace cmldft::sim {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Earliest waveform corner strictly after `t` across all sources.
-double NextSourceBreakpoint(const netlist::Netlist& nl, double t) {
-  double next = kInf;
+// Source waveforms collected once per analysis — the stepping loop asks
+// for the next breakpoint on every step, and scanning all devices with
+// string kind() comparisons each time is measurable on long transients.
+std::vector<const devices::Waveform*> CollectSourceWaveforms(
+    const netlist::Netlist& nl) {
+  std::vector<const devices::Waveform*> out;
   nl.ForEachDevice([&](const netlist::Device& dev) {
-    const devices::Waveform* w = nullptr;
     if (dev.kind() == "vsource") {
-      w = &static_cast<const devices::VSource&>(dev).waveform();
+      out.push_back(&static_cast<const devices::VSource&>(dev).waveform());
     } else if (dev.kind() == "isource") {
-      w = &static_cast<const devices::ISource&>(dev).waveform();
+      out.push_back(&static_cast<const devices::ISource&>(dev).waveform());
     }
-    if (w != nullptr) next = std::min(next, w->NextBreakpoint(t));
   });
+  return out;
+}
+
+// Earliest waveform corner strictly after `t` across the cached sources.
+double NextSourceBreakpoint(const std::vector<const devices::Waveform*>& sources,
+                            double t) {
+  double next = kInf;
+  for (const devices::Waveform* w : sources) {
+    next = std::min(next, w->NextBreakpoint(t));
+  }
   return next;
 }
 }  // namespace
@@ -126,19 +137,26 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
   result.stats().total_newton_iterations = op.value().newton.iterations;
 
   linalg::Vector x = op.value().newton.solution;
+  // Recording buffers are hoisted out of the per-step lambda and the
+  // branch-unknown index list is computed once: the per-step cost is a
+  // couple of gather loops, not an allocation storm plus a device walk.
+  std::vector<size_t> branch_unknowns;
+  netlist.ForEachDevice([&](const netlist::Device& dev) {
+    if (dev.num_branches() > 0) {
+      branch_unknowns.push_back(static_cast<size_t>(mna.UnknownOfBranch(dev, 0)));
+    }
+  });
+  std::vector<double> rec_nodes(static_cast<size_t>(netlist.num_nodes()), 0.0);
+  std::vector<double> rec_branches(branch_unknowns.size(), 0.0);
   auto record = [&](double t, const linalg::Vector& sol) {
-    std::vector<double> nodes(static_cast<size_t>(netlist.num_nodes()), 0.0);
     for (netlist::NodeId n = 1; n < netlist.num_nodes(); ++n) {
-      nodes[static_cast<size_t>(n)] =
+      rec_nodes[static_cast<size_t>(n)] =
           sol[static_cast<size_t>(mna.UnknownOfNode(n))];
     }
-    std::vector<double> branches;
-    netlist.ForEachDevice([&](const netlist::Device& dev) {
-      if (dev.num_branches() > 0) {
-        branches.push_back(sol[static_cast<size_t>(mna.UnknownOfBranch(dev, 0))]);
-      }
-    });
-    result.Append(t, nodes, branches);
+    for (size_t i = 0; i < branch_unknowns.size(); ++i) {
+      rec_branches[i] = sol[branch_unknowns[i]];
+    }
+    result.Append(t, rec_nodes, rec_branches);
   };
   record(0.0, x);
 
@@ -146,6 +164,8 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
   mna.set_mode(netlist::AnalysisMode::kTransient);
   mna.set_initializing_state(false);
   NewtonOptions newton = options.dc.newton;
+  const std::vector<const devices::Waveform*> sources =
+      CollectSourceWaveforms(netlist);
 
   double t = 0.0;
   double dt = options.dt_initial;
@@ -155,7 +175,7 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
     dt = std::clamp(dt, options.dt_min, options.dt_max);
     // Do not step over the end time or a source corner; land on them.
     double dt_eff = std::min(dt, options.tstop - t);
-    const double bp = NextSourceBreakpoint(netlist, t);
+    const double bp = NextSourceBreakpoint(sources, t);
     bool hit_breakpoint = false;
     if (bp < t + dt_eff) {
       dt_eff = bp - t;

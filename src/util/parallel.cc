@@ -1,0 +1,68 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace cmldft::util {
+
+namespace {
+int EnvThreadCount() {
+  const char* env = std::getenv("CMLDFT_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<int>(v) : 0;
+}
+}  // namespace
+
+int ResolveThreadCount(size_t n, int threads) {
+  if (threads <= 0) threads = EnvThreadCount();
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (n < static_cast<size_t>(threads)) threads = static_cast<int>(n);
+  return std::max(threads, 1);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 int threads) {
+  if (n == 0) return;
+  const int workers = ResolveThreadCount(n, threads);
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto work = [&]() {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();  // the calling thread participates
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cmldft::util

@@ -1,0 +1,46 @@
+// Deterministic fork-join parallelism for embarrassingly parallel sweeps
+// (defect screening, Monte-Carlo trials, fault-simulation batches).
+//
+// Design: no work stealing, no shared task queues beyond a single atomic
+// index — every call site iterates a fixed index space [0, n) and each
+// index performs the same computation no matter which thread claims it,
+// so results are bit-identical to a serial run by construction. Results
+// from ParallelMap land at their own index (stable ordering).
+//
+// Thread count resolution, in priority order:
+//   1. the explicit `threads` argument (> 0),
+//   2. the CMLDFT_THREADS environment variable (> 0),
+//   3. std::thread::hardware_concurrency().
+// A resolved count of 1 (or n <= 1) runs inline on the caller's thread
+// with no pool at all — the serial reference path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cmldft::util {
+
+/// Threads a parallel region will use for `n` items when `threads` <= 0:
+/// CMLDFT_THREADS if set and positive, else hardware concurrency, capped
+/// at `n`. Never less than 1.
+int ResolveThreadCount(size_t n, int threads = 0);
+
+/// Run fn(i) for every i in [0, n). Work is claimed from a single atomic
+/// counter; any exception thrown by `fn` is captured (first one in claim
+/// order wins), remaining work is abandoned, and the exception is
+/// rethrown on the calling thread after all workers join.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 int threads = 0);
+
+/// Map fn over [0, n) into a vector with stable index ordering:
+/// result[i] == fn(i) exactly as a serial loop would produce.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, Fn&& fn, int threads = 0) {
+  std::vector<T> out(n);
+  ParallelFor(
+      n, [&](size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace cmldft::util

@@ -1,0 +1,141 @@
+// Parallel == serial determinism guarantees for the campaign engine:
+//  - defect screening classifications are bit-identical for any thread
+//    count (each defect simulates an independent netlist copy),
+//  - bit-parallel (PPSFP) stuck-at fault simulation reproduces the serial
+//    reference's detected_at exactly on the seed circuits,
+//  - Monte-Carlo sweeps return bit-identical trial results regardless of
+//    thread count (technologies are pre-sampled serially).
+#include <gtest/gtest.h>
+
+#include "cml/variation.h"
+#include "core/screening.h"
+#include "digital/faultsim.h"
+#include "digital/patterns.h"
+#include "util/rng.h"
+
+namespace cmldft {
+namespace {
+
+core::ScreeningOptions SmallScreening() {
+  core::ScreeningOptions opt;
+  opt.chain_length = 2;
+  opt.sim_time = 40e-9;
+  opt.detector.load_cap = 1e-12;
+  // Pipes only: a small, fast universe that still exercises every
+  // classification input (amplitude, iddq, logic measurements).
+  opt.enumeration.pipe_values = {2e3};
+  opt.enumeration.transistor_shorts = false;
+  opt.enumeration.transistor_opens = false;
+  opt.enumeration.resistor_shorts = false;
+  opt.enumeration.resistor_opens = false;
+  opt.enumeration.output_bridges = false;
+  return opt;
+}
+
+TEST(ScreeningDeterminism, ParallelMatchesSerialBitExact) {
+  core::ScreeningOptions serial_opt = SmallScreening();
+  serial_opt.threads = 1;
+  core::ScreeningOptions parallel_opt = SmallScreening();
+  parallel_opt.threads = 4;
+
+  auto serial = core::ScreenBufferChain(serial_opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = core::ScreenBufferChain(parallel_opt);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_GT(serial->total(), 0);
+  ASSERT_EQ(serial->total(), parallel->total());
+  for (int i = 0; i < serial->total(); ++i) {
+    const core::DefectOutcome& a = serial->outcomes[static_cast<size_t>(i)];
+    const core::DefectOutcome& b = parallel->outcomes[static_cast<size_t>(i)];
+    ASSERT_EQ(a.defect.Id(), b.defect.Id());
+    EXPECT_EQ(a.Classify(), b.Classify()) << a.defect.Id();
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.logic_fail, b.logic_fail);
+    EXPECT_EQ(a.delay_fail, b.delay_fail);
+    EXPECT_EQ(a.iddq_fail, b.iddq_fail);
+    EXPECT_EQ(a.amplitude_detected, b.amplitude_detected);
+    // Measured quantities must be bit-identical, not merely close: the
+    // per-defect computation is untouched by the parallel dispatch.
+    EXPECT_EQ(a.min_detector_vout, b.min_detector_vout) << a.defect.Id();
+    EXPECT_EQ(a.max_gate_amplitude, b.max_gate_amplitude) << a.defect.Id();
+    EXPECT_EQ(a.supply_current, b.supply_current) << a.defect.Id();
+  }
+  EXPECT_EQ(serial->ConventionalCoverage(), parallel->ConventionalCoverage());
+  EXPECT_EQ(serial->CombinedCoverage(), parallel->CombinedCoverage());
+}
+
+void ExpectFaultSimEquivalence(const digital::GateNetlist& nl,
+                               int num_patterns) {
+  const auto faults = digital::EnumerateStuckAtFaults(nl);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), num_patterns, 0xACE1u);
+
+  const auto serial = digital::RunStuckAtFaultSimSerial(nl, faults, patterns);
+  for (int threads : {1, 4}) {
+    digital::FaultSimOptions opt;
+    opt.threads = threads;
+    const auto packed = digital::RunStuckAtFaultSim(nl, faults, patterns, opt);
+    ASSERT_EQ(packed.total_faults, serial.total_faults);
+    EXPECT_EQ(packed.detected, serial.detected);
+    ASSERT_EQ(packed.detected_at.size(), serial.detected_at.size());
+    for (size_t f = 0; f < faults.size(); ++f) {
+      ASSERT_EQ(packed.detected_at[f], serial.detected_at[f])
+          << faults[f].Id(nl) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FaultSimDeterminism, ScramblerMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeScrambler(7), 96);
+}
+
+TEST(FaultSimDeterminism, Counter4MatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeCounter4(), 64);
+}
+
+TEST(FaultSimDeterminism, ParityMuxMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeParityMux(8), 80);
+}
+
+TEST(FaultSimDeterminism, C17MatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeC17(), 40);
+}
+
+TEST(FaultSimDeterminism, MultiBatchBoundary) {
+  // > 64 and not a multiple of 64 faults: exercises the last ragged batch.
+  digital::GateNetlist nl = digital::MakeScrambler(32);
+  auto faults = digital::EnumerateStuckAtFaults(nl);
+  ASSERT_GT(faults.size(), 64u);
+  faults.resize(67);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), 48, 0xBEEFu);
+  const auto serial = digital::RunStuckAtFaultSimSerial(nl, faults, patterns);
+  const auto packed = digital::RunStuckAtFaultSim(nl, faults, patterns);
+  EXPECT_EQ(packed.detected_at, serial.detected_at);
+}
+
+TEST(MonteCarloDeterminism, SweepIsThreadCountInvariant) {
+  cml::CmlTechnology nominal;
+  cml::VariationModel model;
+  util::Rng rng_a(77), rng_b(77);
+  const auto trials_a =
+      cml::SampleTrialTechnologies(nominal, model, 12, 5, rng_a);
+  const auto trials_b =
+      cml::SampleTrialTechnologies(nominal, model, 12, 5, rng_b);
+
+  auto fn = [](const std::vector<cml::CmlTechnology>& techs, int trial) {
+    double acc = static_cast<double>(trial);
+    for (const auto& t : techs) acc += t.swing + t.wire_cap * 1e12 + t.npn.is * 1e15;
+    return acc;
+  };
+  const auto serial = cml::MonteCarloSweep(trials_a, fn, 1);
+  const auto parallel = cml::MonteCarloSweep(trials_b, fn, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cmldft

@@ -1,0 +1,108 @@
+// Tests for the deterministic fork-join utility: coverage of the index
+// space, stable ParallelMap ordering, 0/1/N-item and 1/N-thread cases,
+// exception propagation, and the CMLDFT_THREADS override.
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cmldft::util {
+namespace {
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleItemRunsInline) {
+  std::atomic<int> calls{0};
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    ParallelFor(n, [&](size_t i) { ++hits[i]; }, threads);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h = 0;
+  ParallelFor(3, [&](size_t i) { ++hits[i]; }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromWorker) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        ParallelFor(
+            100,
+            [](size_t i) {
+              if (i == 57) throw std::runtime_error("boom");
+            },
+            threads),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, ExceptionAbandonsRemainingWork) {
+  std::atomic<int> calls{0};
+  try {
+    ParallelFor(
+        100000,
+        [&](size_t) {
+          ++calls;
+          throw std::runtime_error("first task fails");
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // At most one in-flight task per worker after the abort flag is set.
+  EXPECT_LE(calls.load(), 8);
+}
+
+TEST(ParallelMap, StableOrdering) {
+  for (int threads : {1, 2, 4}) {
+    const auto out = ParallelMap<int>(
+        257, [](size_t i) { return static_cast<int>(i * i); }, threads);
+    ASSERT_EQ(out.size(), 257u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], static_cast<int>(i * i));
+    }
+  }
+}
+
+TEST(ResolveThreadCount, ExplicitArgumentWins) {
+  EXPECT_EQ(ResolveThreadCount(100, 3), 3);
+  EXPECT_EQ(ResolveThreadCount(2, 8), 2);   // capped at n
+  EXPECT_GE(ResolveThreadCount(100, 0), 1); // auto is at least 1
+}
+
+TEST(ResolveThreadCount, EnvOverride) {
+  ASSERT_EQ(setenv("CMLDFT_THREADS", "5", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(100, 0), 5);
+  EXPECT_EQ(ResolveThreadCount(100, 2), 2);  // explicit still wins
+  ASSERT_EQ(setenv("CMLDFT_THREADS", "garbage", 1), 0);
+  EXPECT_GE(ResolveThreadCount(100, 0), 1);  // falls back to hardware
+  unsetenv("CMLDFT_THREADS");
+}
+
+}  // namespace
+}  // namespace cmldft::util

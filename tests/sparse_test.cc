@@ -130,6 +130,122 @@ TEST(SparseLu, FillInStaysBounded) {
   EXPECT_LT(lu.factor_nonzeros(), 5 * n);
 }
 
+namespace {
+// The MNA-like random pattern used across these tests.
+SparseBuilder RandomMnaLike(size_t n, uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  SparseBuilder b(n);
+  for (size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      const size_t c = rng.NextBelow(n);
+      const double v = rng.NextDouble(-1, 1) * scale;
+      b.Add(r, c, v);
+      row_sum += std::fabs(v);
+    }
+    b.Add(r, r, row_sum + scale);
+  }
+  return b;
+}
+}  // namespace
+
+TEST(SparseLuRefactor, FallsBackToFactorWhenUnfactored) {
+  SparseBuilder b(2);
+  b.Add(0, 0, 2.0);
+  b.Add(0, 1, 1.0);
+  b.Add(1, 0, 1.0);
+  b.Add(1, 1, 3.0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.Refactor(b).ok());  // no prior Factor
+  auto x = lu.Solve({5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SparseLuRefactor, SameValuesReproduceFactorExactly) {
+  const size_t n = 64;
+  SparseBuilder b = RandomMnaLike(n, 911);
+  Vector rhs(n, 1.0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.Factor(b).ok());
+  auto x1 = lu.Solve(rhs);
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(lu.Refactor(b).ok());
+  auto x2 = lu.Solve(rhs);
+  ASSERT_TRUE(x2.ok());
+  // Same pivot order, same elimination arithmetic: bit-identical.
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ((*x1)[i], (*x2)[i]) << i;
+}
+
+TEST(SparseLuRefactor, NewValuesSamePatternMatchDense) {
+  // The Newton-iteration scenario: identical sparsity pattern, moving
+  // values. Refactor must match a from-scratch dense solve on each new
+  // value set.
+  const size_t n = 96;
+  SparseLu lu;
+  for (int pass = 0; pass < 4; ++pass) {
+    // Same seed for structure; values perturbed per pass by rebuilding
+    // with a different scale (pattern identical since NextBelow draws are
+    // interleaved identically).
+    SparseBuilder b = RandomMnaLike(n, 1234, 1.0 + 0.37 * pass);
+    util::Rng rng(50 + pass);
+    Vector rhs(n);
+    for (double& v : rhs) v = rng.NextDouble(-10, 10);
+
+    util::Status st = pass == 0 ? lu.Factor(b) : lu.Refactor(b);
+    ASSERT_TRUE(st.ok()) << pass << ": " << st.ToString();
+    auto xs = lu.Solve(rhs);
+    ASSERT_TRUE(xs.ok());
+
+    LuFactorization dense;
+    ASSERT_TRUE(dense.Factor(b.ToDense()).ok());
+    auto xd = dense.Solve(rhs);
+    ASSERT_TRUE(xd.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*xs)[i], (*xd)[i], 1e-9 * (1.0 + std::fabs((*xd)[i])))
+          << "pass=" << pass << " i=" << i;
+    }
+  }
+}
+
+TEST(SparseLuRefactor, DimensionChangeFallsBackToFactor) {
+  SparseBuilder small(2);
+  small.Add(0, 0, 2.0);
+  small.Add(1, 1, 3.0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.Factor(small).ok());
+  SparseBuilder big = RandomMnaLike(10, 7);
+  ASSERT_TRUE(lu.Refactor(big).ok());
+  auto x = lu.Solve(Vector(10, 1.0));
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 10u);
+}
+
+TEST(SparseLuRefactor, BadPivotTriggersFullRepivot) {
+  // Values that invert the magnitude relation the original pivot order
+  // relied on: the entry the old order wants to pivot on collapses to
+  // zero, forcing the fallback path. The solve must still be correct.
+  SparseBuilder a(2);
+  a.Add(0, 0, 10.0);
+  a.Add(0, 1, 1.0);
+  a.Add(1, 0, 1.0);
+  a.Add(1, 1, 10.0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.Factor(a).ok());
+
+  SparseBuilder b(2);
+  b.Add(0, 0, 0.0);  // the old first pivot is now exactly zero
+  b.Add(0, 1, 1.0);
+  b.Add(1, 0, 1.0);
+  b.Add(1, 1, 0.0);
+  ASSERT_TRUE(lu.Refactor(b).ok());
+  auto x = lu.Solve({2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
 TEST(SparseEngine, DcMatchesDenseOnCmlChain) {
   // The ultimate equivalence check: the same circuit solved with both
   // linear solvers gives identical node voltages.
