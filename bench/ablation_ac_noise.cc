@@ -6,16 +6,17 @@
 //   (b) DC transfer of a buffer: gain, transition width and noise margin —
 //       and how defects from the paper's fault list ("reduced noise-margin"
 //       faults) erode them.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "bench/paper_bench.h"
 #include "devices/passive.h"
 #include "devices/sources.h"
+#include "report/report.h"
 #include "sim/ac.h"
 #include "sim/dc.h"
 #include "util/strings.h"
-#include "util/table.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
@@ -94,11 +95,14 @@ Transfer MeasureTransfer(const defects::Defect* defect) {
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader("ablation_ac_noise",
-                     "ablations: AC bandwidth / detector pole / noise margin",
-                     "design-choice studies for DESIGN.md §6");
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep =
+      io.Begin("ablation_ac_noise",
+               "ablations: AC bandwidth / detector pole / noise margin",
+               "design-choice studies for DESIGN.md §6");
 
+  using report::Tol;
   // (a) Buffer bandwidth.
   {
     netlist::Netlist nl;
@@ -115,6 +119,10 @@ int main() {
     cells.AddBuffer("load", out);
     auto ac = sim::RunAc(nl, "Vinp", sim::LogFrequencies(1e8, 200e9, 8));
     if (!ac.ok()) return 1;
+    rep.AddScalar("buffer_dc_gain", ac->Magnitude(out.n_name).front(), "",
+                  Tol::Abs(0.1));
+    rep.AddScalar("buffer_f3db_ghz", ac->Corner3dB(out.n_name) / 1e9, "GHz",
+                  Tol::Rel(0.1, 0.1));
     std::printf("CML buffer small-signal: DC gain %.2f, f3dB = %s\n",
                 ac->Magnitude(out.n_name).front(),
                 util::FormatEngineering(ac->Corner3dB(out.n_name), "Hz").c_str());
@@ -123,8 +131,11 @@ int main() {
   }
 
   // (b) Noise margin vs defect.
-  util::Table table({"circuit", "peak gain", "transition width (mV)",
-                     "noise margin (mV)"});
+  report::Table& table = rep.AddTable(
+      "noise_margin", {{"circuit", Tol::Exact()},
+                       {"peak gain", Tol::Abs(0.2)},
+                       {"transition width", "mV", Tol::Abs(15.0)},
+                       {"noise margin", "mV", Tol::Abs(15.0)}});
   std::vector<waveform::Series> curves;
   struct Case {
     const char* name;
@@ -158,18 +169,18 @@ int main() {
     if (t.curve.x.empty()) continue;
     t.curve.name = c.name;
     table.NewRow()
-        .Add(c.name)
-        .AddF("%.2f", t.gain_at_crossing)
-        .AddF("%.0f", t.transition_width * 1e3)
-        .AddF("%.0f", t.noise_margin * 1e3);
+        .Str(c.name)
+        .Num("%.2f", t.gain_at_crossing)
+        .Num("%.0f", t.transition_width * 1e3)
+        .Num("%.0f", t.noise_margin * 1e3);
     curves.push_back(std::move(t.curve));
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   std::printf("DC transfer (differential out vs differential in):\n%s\n",
               waveform::AsciiPlotSeries(curves).c_str());
   std::printf(
       "the paper's fault list includes reduced-noise-margin faults: the\n"
       "defect cases above shrink gain and noise margin exactly that way,\n"
       "while the pipe *grows* the swing (the amplitude-detector target).\n");
-  return 0;
+  return io.Finish();
 }

@@ -10,8 +10,8 @@
 #include "bench/paper_bench.h"
 #include "core/detector.h"
 #include "devices/sources.h"
+#include "report/report.h"
 #include "sim/dc.h"
-#include "util/table.h"
 
 using namespace cmldft;
 
@@ -76,28 +76,36 @@ TempPoint RunAtTemperature(double temp_k) {
 }
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "ablation_temperature",
       "temperature robustness of the variant-2 detector (extension)",
       "vtest fixed at the paper's nominal-temperature choice of 3.7 V");
 
-  util::Table table({"T (C)", "gate swing (mV)", "fault-free verdict",
-                     "4k-pipe verdict", "faulty vout min (V)"});
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "temperature_sweep", {{"T", "C", Tol::Exact()},
+                            {"gate swing", "mV", Tol::Abs(20.0)},
+                            {"fault-free verdict", Tol::Exact()},
+                            {"4k-pipe verdict", Tol::Exact()},
+                            {"faulty vout min", "V", Tol::Abs(0.05)}});
   const std::vector<double> temps_c = {-40, 0, 27, 85, 125};
   int clean_ok = 0, detect_ok = 0;
   for (double tc : temps_c) {
     const TempPoint p = RunAtTemperature(tc + 273.15);
     table.NewRow()
-        .AddF("%.0f", tc)
-        .AddF("%.0f", p.swing * 1e3)
-        .Add(p.clean_fired ? "FALSE ALARM" : "pass")
-        .Add(p.faulty_fired ? "DETECTED" : "missed")
-        .AddF("%.3f", p.faulty_vmin);
+        .Num("%.0f", tc)
+        .Num("%.0f", p.swing * 1e3)
+        .Str(p.clean_fired ? "FALSE ALARM" : "pass")
+        .Str(p.faulty_fired ? "DETECTED" : "missed")
+        .Num("%.3f", p.faulty_vmin);
     if (!p.clean_fired) ++clean_ok;
     if (p.faulty_fired) ++detect_ok;
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
+  rep.AddInt("clean_passes", clean_ok);
+  rep.AddInt("detections", detect_ok);
   std::printf(
       "VBE falls ~2 mV/K, so a fixed vtest gains sensitivity when hot (risk:\n"
       "false alarms) and loses it when cold (risk: escapes). Over -40..125 C\n"
@@ -105,5 +113,5 @@ int main() {
       "The paper's 'variable supply voltage' phrasing for vtest anticipates\n"
       "exactly this: vtest should track temperature (~VBE(T) + margin).\n",
       clean_ok, temps_c.size(), detect_ok, temps_c.size());
-  return 0;
+  return io.Finish();
 }

@@ -11,12 +11,13 @@
 #include "bench/paper_bench.h"
 #include "core/diagnosis.h"
 #include "core/screening.h"
-#include "util/table.h"
+#include "report/report.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "coverage_comparison",
       "§1/§5/§6 (defect coverage: conventional testing vs + amplitude detectors)",
       "full defect universe on a 3-buffer chain with variant-2 detectors "
@@ -54,16 +55,29 @@ int main() {
               report->nominal_swing, report->reference_delay * 1e12,
               report->reference_detector_vout);
 
-  // Per-defect detail (one line each).
-  util::Table table({"defect", "class", "gate amplitude (V)", "det vout (V)"});
+  using report::Tol;
+  rep.AddScalar("nominal_swing", report->nominal_swing, "V", Tol::Abs(0.02));
+  rep.AddScalar("reference_delay_ps", report->reference_delay * 1e12, "ps",
+                Tol::Rel(0.1, 1.0));
+  rep.AddScalar("reference_detector_vout", report->reference_detector_vout,
+                "V", Tol::Abs(0.02));
+
+  // Per-defect detail (one line each). Classification is a discrete
+  // verdict: exact. The analog columns are informational (they feed the
+  // class, which is what we pin down).
+  report::Table& table = rep.AddTable(
+      "per_defect", {{"defect", Tol::Exact()},
+                     {"class", Tol::Exact()},
+                     {"gate amplitude", "V", Tol::Info()},
+                     {"det vout", "V", Tol::Info()}});
   for (const auto& o : report->outcomes) {
     table.NewRow()
-        .Add(o.defect.Id())
-        .Add(std::string(core::FaultClassName(o.Classify())))
-        .AddF("%.2f", o.max_gate_amplitude)
-        .AddF("%.2f", o.min_detector_vout);
+        .Str(o.defect.Id())
+        .Str(std::string(core::FaultClassName(o.Classify())))
+        .Num("%.2f", o.max_gate_amplitude)
+        .Num("%.2f", o.min_detector_vout);
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
 
   // Summary (chip-scale Iddq: the paper's context).
   std::map<core::FaultClass, int> counts;
@@ -81,6 +95,14 @@ int main() {
               counts[core::FaultClass::kAmplitudeOnly]);
   std::printf("  no-effect             : %d\n",
               counts[core::FaultClass::kNoEffect]);
+  rep.AddInt("defects_total", report->total());
+  rep.AddInt("chip_logic_visible", counts[core::FaultClass::kLogicVisible]);
+  rep.AddInt("chip_delay_visible", counts[core::FaultClass::kDelayVisible]);
+  rep.AddInt("chip_iddq_visible", counts[core::FaultClass::kIddqVisible]);
+  rep.AddInt("chip_catastrophic", counts[core::FaultClass::kCatastrophic]);
+  rep.AddInt("chip_amplitude_only", counts[core::FaultClass::kAmplitudeOnly]);
+  rep.AddInt("chip_no_effect", counts[core::FaultClass::kNoEffect]);
+
   std::printf("\nblock-scale Iddq (3 gates, 25%% resolution):\n");
   std::printf("  coverage, conventional (stuck-at+delay+Iddq+gross): %.1f%%\n",
               report->ConventionalCoverage() * 100);
@@ -95,10 +117,20 @@ int main() {
               (chip.CombinedCoverage() - chip.ConventionalCoverage()) * 100);
   std::printf("  amplitude-only escapes recovered by the detectors : %d\n",
               chip.CountClass(core::FaultClass::kAmplitudeOnly));
+  rep.AddScalar("block_conventional_coverage_pct",
+                report->ConventionalCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("block_combined_coverage_pct",
+                report->CombinedCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("chip_conventional_coverage_pct",
+                chip.ConventionalCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("chip_combined_coverage_pct", chip.CombinedCoverage() * 100,
+                "%", Tol::Exact());
 
   // Localization bonus: per-gate detectors don't just flag the die, they
   // name the faulty gate.
   const core::LocalizationSummary loc = core::EvaluateLocalization(*report);
+  rep.AddInt("localization_correct", loc.correct);
+  rep.AddInt("localization_localizable", loc.localizable);
   std::printf("\nfault localization (detector site vs defect site): %d/%d "
               "correct (%.0f%%)\n",
               loc.correct, loc.localizable, loc.Accuracy() * 100);
@@ -106,5 +138,5 @@ int main() {
       "\npaper: simulations show abnormal gate output excursions caused by a\n"
       "defect are common with CML, and these detectors cover classes of\n"
       "faults that cannot be tested by stuck-at methods only.\n");
-  return 0;
+  return io.Finish();
 }

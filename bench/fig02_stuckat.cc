@@ -6,15 +6,18 @@
 
 #include "bench/paper_bench.h"
 #include "defects/defect.h"
+#include "report/report.h"
 #include "waveform/measure.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader("fig02_stuckat", "Figure 2 (typical stuck-at fault)",
-                     "C-E short on Q2 of a buffer: output pair opf/opbf stops "
-                     "toggling (stuck-at-0)");
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep =
+      io.Begin("fig02_stuckat", "Figure 2 (typical stuck-at fault)",
+               "C-E short on Q2 of a buffer: output pair opf/opbf stops "
+               "toggling (stuck-at-0)");
 
   // Single buffer driven at 100 MHz, one load stage (as in the paper the
   // buffer under test drives downstream logic).
@@ -56,18 +59,37 @@ int main() {
   const auto bad_swing = waveform::MeasureSwing(opf, 5e-9, 15e-9);
   const auto bad_swing_b = waveform::MeasureSwing(opbf, 5e-9, 15e-9);
 
-  std::printf("fault-free op : Vhigh=%.3f V  Vlow=%.3f V  swing=%.0f mV\n",
-              good_swing.vhigh, good_swing.vlow, good_swing.swing * 1e3);
-  std::printf("faulty    opf : Vhigh=%.3f V  Vlow=%.3f V  swing=%.0f mV  %s\n",
-              bad_swing.vhigh, bad_swing.vlow, bad_swing.swing * 1e3,
-              bad_swing.swing < 0.05 ? "<- STUCK" : "");
-  std::printf("faulty   opbf : Vhigh=%.3f V  Vlow=%.3f V  swing=%.0f mV  %s\n",
-              bad_swing_b.vhigh, bad_swing_b.vlow, bad_swing_b.swing * 1e3,
-              bad_swing_b.swing < 0.05 ? "<- STUCK" : "");
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "output_levels", {{"signal", Tol::Exact()},
+                        {"Vhigh", "V", Tol::Abs(0.02)},
+                        {"Vlow", "V", Tol::Abs(0.02)},
+                        {"swing", "mV", Tol::Abs(20.0)},
+                        {"verdict", Tol::Exact()}});
+  auto add_row = [&](const char* name, const waveform::SwingStats& s,
+                     bool check_stuck) {
+    table.NewRow()
+        .Str(name)
+        .Num("%.3f", s.vhigh)
+        .Num("%.3f", s.vlow)
+        .Num("%.0f", s.swing * 1e3)
+        .Str(check_stuck ? (s.swing < 0.05 ? "STUCK" : "toggling") : "-");
+  };
+  add_row("fault-free op", good_swing, false);
+  add_row("faulty opf", bad_swing, true);
+  add_row("faulty opbf", bad_swing_b, true);
+  std::printf("%s\n", table.ToText().c_str());
+
+  rep.AddScalar("faulty_op_swing_mv", bad_swing.swing * 1e3, "mV",
+                Tol::Abs(20.0));
+  rep.AddScalar("fault_free_swing_mv", good_swing.swing * 1e3, "mV",
+                Tol::Abs(20.0));
+  rep.AddText("faulty_op_stuck", bad_swing.swing < 0.05 ? "stuck-at" : "toggling");
+
   std::printf(
       "\npaper: the C-E short forces a stuck output pair (stuck-at-0 at the\n"
       "logical level); measured: faulty op swing %.0f mV vs %.0f mV "
       "fault-free.\n",
       bad_swing.swing * 1e3, good_swing.swing * 1e3);
-  return 0;
+  return io.Finish();
 }

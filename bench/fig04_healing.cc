@@ -5,14 +5,15 @@
 #include <cstdio>
 
 #include "bench/paper_bench.h"
-#include "util/table.h"
+#include "report/report.h"
 #include "waveform/measure.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "fig04_healing", "Figure 4 (fault healing along the chain)",
       "4 kOhm pipe on DUT.q3, 100 MHz; outputs of DUT and X66, fault-free vs "
       "faulty");
@@ -45,24 +46,32 @@ int main() {
                                    window(bad, x66.p_name, "op6_pipe")})
                   .c_str());
 
-  util::Table table({"stage", "Vhigh ff", "Vlow ff", "swing ff", "Vhigh pipe",
-                     "Vlow pipe", "swing pipe", "swing ratio"});
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "swing_by_stage", {{"stage", Tol::Exact()},
+                         {"Vhigh ff", "V", Tol::Abs(0.02)},
+                         {"Vlow ff", "V", Tol::Abs(0.02)},
+                         {"swing ff", "V", Tol::Abs(0.02)},
+                         {"Vhigh pipe", "V", Tol::Abs(0.02)},
+                         {"Vlow pipe", "V", Tol::Abs(0.02)},
+                         {"swing pipe", "V", Tol::Abs(0.02)},
+                         {"swing ratio", "", Tol::Abs(0.1)}});
   for (size_t s = 0; s < chain.outs.size(); ++s) {
     const auto g =
         waveform::MeasureSwing(good.Voltage(chain.outs[s].p_name), 10e-9, 25e-9);
     const auto b =
         waveform::MeasureSwing(bad.Voltage(chain.outs[s].p_name), 10e-9, 25e-9);
     table.NewRow()
-        .Add(bench::kChainNames[s] + " (" + bench::kOutputLabels[s] + ")")
-        .AddF("%.3f", g.vhigh)
-        .AddF("%.3f", g.vlow)
-        .AddF("%.3f", g.swing)
-        .AddF("%.3f", b.vhigh)
-        .AddF("%.3f", b.vlow)
-        .AddF("%.3f", b.swing)
-        .AddF("%.2f", b.swing / g.swing);
+        .Str(bench::kChainNames[s] + " (" + bench::kOutputLabels[s] + ")")
+        .Num("%.3f", g.vhigh)
+        .Num("%.3f", g.vlow)
+        .Num("%.3f", g.swing)
+        .Num("%.3f", b.vhigh)
+        .Num("%.3f", b.vlow)
+        .Num("%.3f", b.swing)
+        .Num("%.2f", b.swing / g.swing);
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
 
   const auto g_dut =
       waveform::MeasureSwing(bad.Voltage(dut.p_name), 10e-9, 25e-9);
@@ -70,6 +79,11 @@ int main() {
       waveform::MeasureSwing(bad.Voltage(x66.p_name), 10e-9, 25e-9);
   const auto ff_dut =
       waveform::MeasureSwing(good.Voltage(dut.p_name), 10e-9, 25e-9);
+  rep.AddScalar("dut_swing_ratio", g_dut.swing / ff_dut.swing, "",
+                Tol::Abs(0.1));
+  rep.AddScalar("x66_swing_ratio", g_x66.swing / ff_dut.swing, "",
+                Tol::Abs(0.05));
+  rep.AddScalar("nominal_swing_mv", ff_dut.swing * 1e3, "mV", Tol::Abs(20.0));
   std::printf(
       "paper: \"at the output of the faulty gate, the voltage swing has\n"
       "nearly doubled ... after 4 logic gates the degraded signal ... can be\n"
@@ -78,5 +92,5 @@ int main() {
       "%.3f (healed).\n",
       g_dut.swing * 1e3, g_dut.swing / ff_dut.swing, ff_dut.swing * 1e3,
       g_x66.swing / ff_dut.swing);
-  return 0;
+  return io.Finish();
 }

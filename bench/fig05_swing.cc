@@ -8,24 +8,32 @@
 #include <vector>
 
 #include "bench/paper_bench.h"
+#include "report/report.h"
 #include "util/strings.h"
-#include "util/table.h"
 #include "waveform/measure.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader("fig05_swing",
-                     "Figure 5 (Vlow and Vhigh vs pipe value and frequency)",
-                     "buffer with C-E pipe on its current source; swing "
-                     "measured over the settled tail of each run");
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep =
+      io.Begin("fig05_swing",
+               "Figure 5 (Vlow and Vhigh vs pipe value and frequency)",
+               "buffer with C-E pipe on its current source; swing "
+               "measured over the settled tail of each run");
 
   const std::vector<double> pipes = {1e3, 3e3, 5e3};
   const std::vector<double> freqs_mhz = {50,   100,  200,  400, 700,
                                          1000, 1400, 2000, 2600, 3200};
 
-  util::Table table({"pipe", "freq (MHz)", "Vhigh (V)", "Vlow (V)", "swing (V)"});
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "levels_vs_pipe_and_freq", {{"pipe", Tol::Exact()},
+                                  {"freq", "MHz", Tol::Exact()},
+                                  {"Vhigh", "V", Tol::Abs(0.02)},
+                                  {"Vlow", "V", Tol::Abs(0.02)},
+                                  {"swing", "V", Tol::Abs(0.03)}});
   std::vector<waveform::Series> vlow_series;
   std::vector<waveform::Series> vhigh_series;
 
@@ -37,7 +45,8 @@ int main() {
     auto r = bench::MustRunTransient(chain.nl, opts);
     const auto s =
         waveform::MeasureSwing(r.Voltage(chain.outs[2].p_name), 20e-9, 40e-9);
-    table.NewRow().Add("none").Add("100").AddF("%.3f", s.vhigh).AddF("%.3f", s.vlow).AddF("%.3f", s.swing);
+    table.NewRow().Str("none").Num("%.0f", 100).Num("%.3f", s.vhigh)
+        .Num("%.3f", s.vlow).Num("%.3f", s.swing);
     std::printf("fault-free reference: Vhigh=%.3f V, Vlow=%.3f V\n\n", s.vhigh,
                 s.vlow);
   }
@@ -58,11 +67,11 @@ int main() {
       const auto s = waveform::MeasureSwing(r.Voltage(chain.outs[2].p_name),
                                             opts.tstop * 0.5, opts.tstop);
       table.NewRow()
-          .Add(util::StrPrintf("%.0fk", pipe / 1e3))
-          .AddF("%.0f", fmhz)
-          .AddF("%.3f", s.vhigh)
-          .AddF("%.3f", s.vlow)
-          .AddF("%.3f", s.swing);
+          .Str(util::StrPrintf("%.0fk", pipe / 1e3))
+          .Num("%.0f", fmhz)
+          .Num("%.3f", s.vhigh)
+          .Num("%.3f", s.vlow)
+          .Num("%.3f", s.swing);
       lo.x.push_back(fmhz);
       lo.y.push_back(s.vlow);
       hi.x.push_back(fmhz);
@@ -72,7 +81,7 @@ int main() {
     vhigh_series.push_back(std::move(hi));
   }
 
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   std::printf("Vlow vs frequency (per pipe value):\n%s\n",
               waveform::AsciiPlotSeries(vlow_series).c_str());
   std::printf("Vhigh vs frequency (per pipe value):\n%s\n",
@@ -81,5 +90,5 @@ int main() {
       "paper: levels approach their defect-free values as the pipe value\n"
       "grows, and the excessive low excursion decreases with increasing\n"
       "frequency — both visible above.\n");
-  return 0;
+  return io.Finish();
 }

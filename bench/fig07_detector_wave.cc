@@ -6,15 +6,18 @@
 
 #include "bench/paper_bench.h"
 #include "core/detector.h"
+#include "report/report.h"
 #include "waveform/measure.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader("fig07_detector_wave",
-                     "Figure 7 (variant-1 detector response waveform)",
-                     "1 kOhm pipe, diode + 10 pF load, 100 MHz");
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep =
+      io.Begin("fig07_detector_wave",
+               "Figure 7 (variant-1 detector response waveform)",
+               "1 kOhm pipe, diode + 10 pF load, 100 MHz");
 
   netlist::Netlist nl;
   cml::CmlTechnology tech;
@@ -45,11 +48,22 @@ int main() {
               resp.t_stability * 1e9, resp.vmax);
   std::printf("Vmin = %.3f V   ripple = %.1f mV\n", resp.vmin,
               waveform::RippleAfter(vout, resp.t_stability) * 1e3);
+
+  using report::Tol;
+  rep.AddScalar("tstability_ns", resp.t_stability * 1e9, "ns",
+                Tol::Rel(0.15, 1.0));
+  rep.AddScalar("vmax", resp.vmax, "V", Tol::Abs(0.05));
+  rep.AddScalar("vmin", resp.vmin, "V", Tol::Abs(0.05));
+  rep.AddScalar("ripple_mv",
+                waveform::RippleAfter(vout, resp.t_stability) * 1e3, "mV",
+                Tol::Abs(5.0));
+
   std::printf(
       "\nfault-free comparison (same detector, no pipe): vout stays at vgnd:\n");
   auto good = bench::MustRunTransient(nl, opts);
   auto gv = good.Voltage(vout_name);
   std::printf("fault-free vout min over %.1f us: %.3f V (vgnd = %.1f V)\n",
               opts.tstop * 1e6, gv.Min(), tech.vgnd);
-  return 0;
+  rep.AddScalar("fault_free_vout_min", gv.Min(), "V", Tol::Abs(0.05));
+  return io.Finish();
 }

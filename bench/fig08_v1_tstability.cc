@@ -8,14 +8,15 @@
 #include <vector>
 
 #include "bench/paper_bench.h"
+#include "report/report.h"
 #include "util/strings.h"
-#include "util/table.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "fig08_v1_tstability",
       "Figure 8 (variant 1: tstability & Vmax vs frequency, pipe, load)",
       "diode-capacitor load; 'fired' = vout dropped > 0.1 V within the "
@@ -32,8 +33,8 @@ int main() {
   };
   const std::vector<double> pipes = {1e3, 1.5e3, 2e3, 3e3};
 
-  util::Table table({"load", "pipe", "freq (MHz)", "amplitude (V)", "fired",
-                     "tstability (ns)", "Vmax (V)"});
+  report::Table& table =
+      rep.AddTable("v1_characterization", bench::DetectorPointColumns());
   std::vector<waveform::Series> tstab_series;
   double min_fired_amplitude = 1e9, max_missed_amplitude = 0.0;
   for (const Grid& grid : grids) {
@@ -45,16 +46,7 @@ int main() {
                                    pipe / 1e3);
       for (double f : grid.freqs) {
         const auto pt = bench::RunDetectorPoint(1, f, pipe, grid.window, dopt);
-        table.NewRow()
-            .Add(util::FormatEngineering(grid.cap, "F"))
-            .Add(util::FormatEngineering(pipe))
-            .AddF("%.0f", f / 1e6)
-            .AddF("%.2f", pt.amplitude)
-            .Add(pt.fired ? "yes" : "no")
-            .Add(pt.fired
-                     ? util::StrPrintf("%.0f", pt.response.t_stability * 1e9)
-                     : ">window")
-            .AddF("%.3f", pt.response.vmax);
+        bench::AddDetectorPointRow(table, grid.cap, pipe, pt);
         if (pt.fired) {
           serie.x.push_back(f / 1e6);
           serie.y.push_back(pt.response.t_stability * 1e9);
@@ -66,23 +58,37 @@ int main() {
       if (!serie.x.empty()) tstab_series.push_back(std::move(serie));
     }
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   if (!tstab_series.empty()) {
     std::printf("tstability (ns) vs frequency (MHz):\n%s\n",
                 waveform::AsciiPlotSeries(tstab_series).c_str());
   }
 
+  using report::Tol;
   // §6.1 ablation: diode vs 160 kOhm resistor load (1 kOhm pipe, 100 MHz).
+  report::Table& ablation = rep.AddTable(
+      "load_ablation", {{"load", Tol::Exact()},
+                        {"tstability", "ns", Tol::Rel(0.15, 1.0)},
+                        {"Vmax", "V", Tol::Abs(0.05)}});
   std::printf("load ablation (1 kOhm pipe, 100 MHz, 10 pF):\n");
   for (bool resistor : {false, true}) {
     core::DetectorOptions dopt;
     dopt.load_kind = resistor ? core::DetectorOptions::LoadKind::kResistor
                               : core::DetectorOptions::LoadKind::kDiode;
     const auto pt = bench::RunDetectorPoint(1, 100e6, 1e3, 2.0e-6, dopt);
+    ablation.NewRow()
+        .Str(resistor ? "resistor" : "diode")
+        .Num("%.0f", pt.response.t_stability * 1e9)
+        .Num("%.3f", pt.response.vmax);
     std::printf("  %-8s load: tstability = %7.0f ns, Vmax = %.3f V\n",
                 resistor ? "resistor" : "diode", pt.response.t_stability * 1e9,
                 pt.response.vmax);
   }
+
+  rep.AddScalar("min_fired_amplitude", min_fired_amplitude, "V",
+                Tol::Abs(0.05));
+  rep.AddScalar("max_missed_amplitude", max_missed_amplitude, "V",
+                Tol::Abs(0.05));
   std::printf(
       "\npaper: tstability increases significantly with frequency; it can be\n"
       "much longer with a resistor-capacitor load than with a diode-\n"
@@ -91,5 +97,5 @@ int main() {
       "missed %.2f V -> variant-1 threshold in (%.2f, %.2f) V.\n",
       min_fired_amplitude, max_missed_amplitude, max_missed_amplitude,
       min_fired_amplitude);
-  return 0;
+  return io.Finish();
 }

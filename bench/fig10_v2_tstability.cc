@@ -8,14 +8,15 @@
 
 #include "bench/paper_bench.h"
 #include "core/response_model.h"
+#include "report/report.h"
 #include "util/strings.h"
-#include "util/table.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "fig10_v2_tstability",
       "Figure 10 (variant 2: tstability & Vmax; detectable amplitude ~0.35 V)",
       "two detector transistors biased from vtest = 3.7 V in test mode");
@@ -31,8 +32,8 @@ int main() {
   };
   const std::vector<double> pipes = {1e3, 2e3, 3e3, 4e3, 5e3};
 
-  util::Table table({"load", "pipe", "freq (MHz)", "amplitude (V)", "fired",
-                     "tstability (ns)", "Vmax (V)"});
+  report::Table& table =
+      rep.AddTable("v2_characterization", bench::DetectorPointColumns());
   std::vector<waveform::Series> vmax_series;
   for (const Grid& grid : grids) {
     core::DetectorOptions dopt;
@@ -43,16 +44,7 @@ int main() {
                                    pipe / 1e3);
       for (double f : grid.freqs) {
         const auto pt = bench::RunDetectorPoint(2, f, pipe, grid.window, dopt);
-        table.NewRow()
-            .Add(util::FormatEngineering(grid.cap, "F"))
-            .Add(util::FormatEngineering(pipe))
-            .AddF("%.0f", f / 1e6)
-            .AddF("%.2f", pt.amplitude)
-            .Add(pt.fired ? "yes" : "no")
-            .Add(pt.fired
-                     ? util::StrPrintf("%.0f", pt.response.t_stability * 1e9)
-                     : ">window")
-            .AddF("%.3f", pt.response.vmax);
+        bench::AddDetectorPointRow(table, grid.cap, pipe, pt);
         if (grid.cap < 5e-12 && pt.fired) {
           serie.x.push_back(f / 1e6);
           serie.y.push_back(pt.response.vmax);
@@ -61,24 +53,34 @@ int main() {
       if (!serie.x.empty()) vmax_series.push_back(std::move(serie));
     }
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   if (!vmax_series.empty()) {
     std::printf("Vmax (V) vs frequency (MHz), 1 pF load:\n%s\n",
                 waveform::AsciiPlotSeries(vmax_series).c_str());
   }
 
+  using report::Tol;
   // Detection-threshold scan: weakest pipe (smallest amplitude) fired.
   std::printf("detection threshold scan (100 MHz, 1 pF, 250 ns window):\n");
+  report::Table& scan = rep.AddTable(
+      "threshold_scan", {{"pipe", Tol::Exact()},
+                         {"amplitude", "V", Tol::Abs(0.05)},
+                         {"verdict", Tol::Exact()}});
   core::DetectorOptions dth;
   dth.load_cap = 1e-12;
   double v2_threshold = 0.0;
   for (double pipe : {5e3, 6e3, 8e3, 10e3, 12e3, 16e3}) {
     const auto pt = bench::RunDetectorPoint(2, 100e6, pipe, 0.25e-6, dth);
+    scan.NewRow()
+        .Str(util::FormatEngineering(pipe))
+        .Num("%.3f", pt.amplitude)
+        .Str(pt.fired ? "DETECTED" : "missed");
     std::printf("  pipe %5s -> amplitude %.3f V : %s\n",
                 util::FormatEngineering(pipe).c_str(), pt.amplitude,
                 pt.fired ? "DETECTED" : "missed");
     if (pt.fired) v2_threshold = pt.amplitude;
   }
+  rep.AddScalar("v2_detectable_amplitude", v2_threshold, "V", Tol::Abs(0.05));
   std::printf("  => variant-2 detectable amplitude extends down to ~%.2f V "
               "(paper: 0.35 V)\n",
               v2_threshold);
@@ -86,6 +88,7 @@ int main() {
     cml::CmlTechnology tech;
     const double predicted =
         core::PredictDetectionThreshold(tech, dth, 0.25e-6);
+    rep.AddScalar("predicted_threshold", predicted, "V", Tol::Abs(0.05));
     std::printf("  analytic response model predicts %.2f V for the same "
                 "window (core/response_model.h)\n\n",
                 predicted);
@@ -94,6 +97,10 @@ int main() {
   // vtest ablation: sensitivity rises with vtest until the normal low
   // level itself fires the taps (false alarm) — the compromise the paper
   // settles at 3.7 V.
+  report::Table& vtab = rep.AddTable(
+      "vtest_ablation", {{"vtest", "V", Tol::Exact()},
+                         {"faulty", Tol::Exact()},
+                         {"fault-free", Tol::Exact()}});
   std::printf("vtest ablation (4 kOhm pipe vs fault-free, 100 MHz, 1 pF):\n");
   for (double vtest : {3.5, 3.6, 3.7, 3.8, 3.9}) {
     core::DetectorOptions dopt;
@@ -101,6 +108,10 @@ int main() {
     dopt.vtest_test_mode = vtest;
     const auto pt = bench::RunDetectorPoint(2, 100e6, 4e3, 0.25e-6, dopt);
     const auto ff = bench::RunDetectorPoint(2, 100e6, 0.0, 0.25e-6, dopt);
+    vtab.NewRow()
+        .Num("%.1f", vtest)
+        .Str(pt.fired ? "DETECTED" : "missed")
+        .Str(ff.fired ? "FALSE ALARM" : "clean");
     std::printf("  vtest = %.1f V : faulty %s, fault-free %s\n", vtest,
                 pt.fired ? "DETECTED" : "missed  ",
                 ff.fired ? "FALSE ALARM" : "clean");
@@ -109,5 +120,5 @@ int main() {
       "\npaper: a 3.7 V vtest is an excellent compromise for a VBE = 900 mV\n"
       "technology; the detectable amplitude reduces to ~0.35 V and\n"
       "tstability is much shorter than variant 1's.\n");
-  return 0;
+  return io.Finish();
 }

@@ -10,16 +10,19 @@
 #include "bench/paper_bench.h"
 #include "core/characterize.h"
 #include "devices/sources.h"
+#include "report/report.h"
 #include "sim/dc.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader("fig12_hysteresis",
-                     "Figure 12 (comparator hysteresis from positive feedback)",
-                     "DC sweep of the shared vout node up and down; vfb and "
-                     "co recorded on each branch");
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep =
+      io.Begin("fig12_hysteresis",
+               "Figure 12 (comparator hysteresis from positive feedback)",
+               "DC sweep of the shared vout node up and down; vfb and "
+               "co recorded on each branch");
 
   // Trace the full loop for the plot.
   netlist::Netlist nl;
@@ -71,6 +74,13 @@ int main() {
   std::printf("vfb in pass state            : %.3f V\n", h->vfb_pass);
   std::printf("vfb in fault state           : %.3f V\n", h->vfb_fail);
 
+  using report::Tol;
+  rep.AddScalar("trip_down", h->trip_down, "V", Tol::Abs(0.02));
+  rep.AddScalar("trip_up", h->trip_up, "V", Tol::Abs(0.02));
+  rep.AddScalar("hysteresis_width_mv", h->width() * 1e3, "mV", Tol::Abs(10.0));
+  rep.AddScalar("vfb_pass", h->vfb_pass, "V", Tol::Abs(0.02));
+  rep.AddScalar("vfb_fail", h->vfb_fail, "V", Tol::Abs(0.02));
+
   // Safety check the paper makes: the fault-free quiescent vout must sit
   // above the trip-up point, so a good gate can never be latched defective.
   auto ls = core::MeasureLoadSharing(1, {}, 3.7);
@@ -79,11 +89,14 @@ int main() {
                 ls->vout, ls->vout > h->trip_up ? ">" : "<=", h->trip_up);
     std::printf("=> a fault-free gate %s be wrongly declared defective.\n",
                 ls->vout > h->trip_up ? "can never" : "COULD");
+    rep.AddScalar("fault_free_vout", ls->vout, "V", Tol::Abs(0.02));
+    rep.AddText("fault_free_safe",
+                ls->vout > h->trip_up ? "can-never-latch" : "COULD-latch");
   }
   std::printf(
       "\npaper: vout of 3.54 V guaranteed detected; vout above 3.57 V treated\n"
       "as fault-free (30 mV window). measured: %.3f / %.3f V (%.0f mV "
       "window).\n",
       h->trip_down, h->trip_up, h->width() * 1e3);
-  return 0;
+  return io.Finish();
 }

@@ -9,13 +9,15 @@
 
 #include "bench/paper_bench.h"
 #include "core/characterize.h"
-#include "util/table.h"
+#include "report/report.h"
+#include "util/strings.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "fig14_load_sharing",
       "Figure 14 (detector response vs number of gates sharing the load)",
       "static fault-free chain of N buffers, every output tapped onto one "
@@ -28,8 +30,13 @@ int main() {
   }
   std::printf("hysteresis trip-up (safe threshold): %.3f V\n\n", h->trip_up);
 
+  using report::Tol;
   const std::vector<int> counts = {1, 2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60};
-  util::Table table({"N gates", "vout (V)", "vfb (V)", "flagged?"});
+  report::Table& table = rep.AddTable(
+      "sharing", {{"N gates", Tol::Exact()},
+                  {"vout", "V", Tol::Abs(0.02)},
+                  {"vfb", "V", Tol::Abs(0.02)},
+                  {"flagged", Tol::Exact()}});
   waveform::Series vout_series, vfb_series;
   vout_series.name = "vout";
   vfb_series.name = "vfb";
@@ -41,24 +48,29 @@ int main() {
       return 1;
     }
     table.NewRow()
-        .AddInt(n)
-        .AddF("%.3f", p->vout)
-        .AddF("%.3f", p->vfb)
-        .Add(p->flagged ? "FAULT(false alarm)" : "pass");
+        .Int(n)
+        .Num("%.3f", p->vout)
+        .Num("%.3f", p->vfb)
+        .Str(p->flagged ? "FAULT(false alarm)" : "pass");
     vout_series.x.push_back(n);
     vout_series.y.push_back(p->vout);
     vfb_series.x.push_back(n);
     vfb_series.y.push_back(p->vfb);
     if (!p->flagged && p->vout > h->trip_up) safe_max = n;
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   std::printf("vout and vfb after stability vs N:\n%s\n",
               waveform::AsciiPlotSeries({vout_series, vfb_series}).c_str());
+  rep.AddInt("safe_max_gates", safe_max);
   std::printf("safe maximum gates per load circuit (vout > trip-up): %d "
               "(paper: 45)\n\n",
               safe_max);
 
   // Fault detection must survive sharing: a pipe on gate 0 with N taps.
+  report::Table& dtab = rep.AddTable(
+      "defective_gate_check", {{"N gates", Tol::Exact()},
+                               {"vout", "V", Tol::Abs(0.02)},
+                               {"verdict", Tol::Exact()}});
   std::printf("defective-gate check (2 kOhm pipe on gate 0):\n");
   for (int n : {1, 10, 45}) {
     auto p = core::MeasureLoadSharing(n, {}, 3.7, /*pipe_on_gate0=*/2e3);
@@ -66,17 +78,27 @@ int main() {
       std::fprintf(stderr, "N=%d: %s\n", n, p.status().ToString().c_str());
       return 1;
     }
+    dtab.NewRow().Int(n).Num("%.3f", p->vout).Str(p->flagged ? "DETECTED"
+                                                             : "missed");
     std::printf("  N=%2d: vout=%.3f V -> %s\n", n, p->vout,
                 p->flagged ? "DETECTED" : "missed");
   }
 
   // Ablation: the R0 bleed trades false-alarm margin against sharing depth.
+  report::Table& rtab = rep.AddTable(
+      "r0_ablation", {{"R0", Tol::Exact()},
+                      {"vout", "V", Tol::Abs(0.02)},
+                      {"verdict", Tol::Exact()}});
   std::printf("\nR0 ablation (vout at N=30):\n");
   for (double r0 : {20e3, 40e3, 80e3}) {
     core::DetectorOptions dopt;
     dopt.r0 = r0;
     auto p = core::MeasureLoadSharing(30, dopt, 3.7);
     if (p.ok()) {
+      rtab.NewRow()
+          .Str(util::StrPrintf("%.0fk", r0 / 1e3))
+          .Num("%.3f", p->vout)
+          .Str(p->flagged ? "false alarm" : "pass");
       std::printf("  R0=%4.0fk: vout=%.3f V (%s)\n", r0 / 1e3, p->vout,
                   p->flagged ? "false alarm" : "pass");
     }
@@ -85,5 +107,5 @@ int main() {
       "\npaper: vout decreases linearly with N (R0 dominates the load at low\n"
       "current so leakage adds linearly); sharing is safe up to 45 buffers\n"
       "and a 0.35 V-amplitude fault still drives vout low enough to detect.\n");
-  return 0;
+  return io.Finish();
 }

@@ -7,7 +7,7 @@
 
 #include "bench/paper_bench.h"
 #include "core/area.h"
-#include "util/table.h"
+#include "report/report.h"
 
 using namespace cmldft;
 
@@ -32,8 +32,9 @@ core::AreaCount BuiltDetectorArea(int variant, bool multi_emitter) {
 }
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "fig15_area_overhead",
       "Figure 15 / §6.5 (area optimization and overhead accounting)",
       "area units: transistor=1, extra emitter=0.3, resistor=0.4, cap=2");
@@ -42,17 +43,24 @@ int main() {
   std::printf("reference CML buffer: %d transistors, %d resistors -> %.1f units\n\n",
               buffer.transistors, buffer.resistors, buffer.Units());
 
-  util::Table table({"scheme", "T", "+E", "R", "C", "units/gate",
-                     "overhead vs buffer"});
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "area_per_gate", {{"scheme", Tol::Exact()},
+                        {"T", Tol::Exact()},
+                        {"+E", Tol::Exact()},
+                        {"R", Tol::Exact()},
+                        {"C", Tol::Exact()},
+                        {"units/gate", Tol::Abs(0.01)},
+                        {"overhead", "%", Tol::Abs(1.0)}});
   auto row = [&](const char* name, const core::AreaCount& a, double units) {
     table.NewRow()
-        .Add(name)
-        .AddInt(a.transistors)
-        .AddInt(a.extra_emitters)
-        .AddInt(a.resistors)
-        .AddInt(a.capacitors)
-        .AddF("%.2f", units)
-        .AddF("%.0f%%", 100.0 * units / buffer.Units());
+        .Str(name)
+        .Int(a.transistors)
+        .Int(a.extra_emitters)
+        .Int(a.resistors)
+        .Int(a.capacitors)
+        .Num("%.2f", units)
+        .Num("%.0f", 100.0 * units / buffer.Units());
   };
   const auto v1d = core::Variant1Area(false);
   const auto v1r = core::Variant1Area(true);
@@ -71,7 +79,7 @@ int main() {
   row("variant 3, N=45, multi-emitter", v3me,
       core::Variant3AmortizedUnits(45, true));
   row("prior art: Menon XOR/gate [4]", menon, menon.Units());
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
 
   // Verify the closed-form counts against real constructions.
   std::printf("closed-form vs instantiated netlists:\n");
@@ -88,6 +96,13 @@ int main() {
       {"variant 2", 2, false, core::Variant2Area(false)},
       {"variant 2 ME", 2, true, core::Variant2Area(true)},
   };
+  report::Table& ctab = rep.AddTable(
+      "closed_form_check", {{"scheme", Tol::Exact()},
+                            {"T", Tol::Exact()},
+                            {"+E", Tol::Exact()},
+                            {"R", Tol::Exact()},
+                            {"C", Tol::Exact()},
+                            {"verdict", Tol::Exact()}});
   bool all_ok = true;
   for (const Check& c : checks) {
     const core::AreaCount built = BuiltDetectorArea(c.variant, c.me);
@@ -95,11 +110,22 @@ int main() {
                     built.extra_emitters == c.expected.extra_emitters &&
                     built.capacitors == c.expected.capacitors &&
                     built.resistors == c.expected.resistors + 1;  // + bleed
+    ctab.NewRow()
+        .Str(c.name)
+        .Int(built.transistors)
+        .Int(built.extra_emitters)
+        .Int(built.resistors)
+        .Int(built.capacitors)
+        .Str(ok ? "matches" : "MISMATCH");
     std::printf("  %-12s built T=%d +E=%d R=%d C=%d  %s\n", c.name,
                 built.transistors, built.extra_emitters, built.resistors,
                 built.capacitors, ok ? "matches model (+1 bleed R)" : "MISMATCH");
     all_ok = all_ok && ok;
   }
+  rep.AddScalar("v3_n45_me_units_per_gate", core::Variant3AmortizedUnits(45, true),
+                "units", Tol::Abs(0.01));
+  rep.AddScalar("menon_units_per_gate", menon.Units(), "units", Tol::Abs(0.01));
+  rep.AddText("closed_form_all_ok", all_ok ? "ok" : "MISMATCH");
   std::printf(
       "\npaper: the multi-emitter transistor allows a considerable reduction\n"
       "for circuits using many detectors; Menon's technique costs one test\n"
@@ -109,5 +135,5 @@ int main() {
       core::Variant3AmortizedUnits(45, true),
       100.0 * core::Variant3AmortizedUnits(45, true) / buffer.Units(),
       menon.Units(), 100.0 * menon.Units() / buffer.Units());
-  return all_ok ? 0 : 1;
+  return io.Finish(all_ok ? 0 : 1);
 }

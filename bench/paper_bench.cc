@@ -1,0 +1,127 @@
+#include "bench/paper_bench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cmldft::bench {
+
+const std::vector<std::string> kChainNames = {
+    "x11", "x22", "dut", "x33", "x44", "x55", "x66", "x77"};
+const std::vector<std::string> kOutputLabels = {
+    "op1", "a", "op", "op3", "op4", "op5", "op6", "op7"};
+
+PaperChain MakePaperChain(double frequency) {
+  PaperChain chain;
+  cml::CellBuilder cells(chain.nl, chain.tech);
+  chain.input = cells.AddDifferentialClock("va", frequency);
+  chain.outs =
+      cells.AddBufferChain("x", chain.input, static_cast<int>(kChainNames.size()),
+                           kChainNames);
+  return chain;
+}
+
+defects::Defect DutPipe(double resistance) {
+  defects::Defect d;
+  d.type = defects::DefectType::kTransistorPipe;
+  d.device = "dut.q3";
+  d.terminal_a = 0;
+  d.terminal_b = 2;
+  d.resistance = resistance;
+  return d;
+}
+
+netlist::Netlist WithDutPipe(const PaperChain& chain, double resistance) {
+  auto faulty = defects::WithDefect(chain.nl, DutPipe(resistance));
+  if (!faulty.ok()) {
+    std::fprintf(stderr, "defect injection failed: %s\n",
+                 faulty.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(faulty).value();
+}
+
+sim::TransientResult MustRunTransient(const netlist::Netlist& nl,
+                                      const sim::TransientOptions& opts) {
+  auto r = sim::RunTransient(nl, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "transient failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+DetectorPoint RunDetectorPoint(int variant, double frequency,
+                               double pipe_resistance, double window,
+                               const core::DetectorOptions& dopt) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialClock("va", frequency);
+  const cml::DiffPort o0 = cells.AddBuffer("x0", in);
+  const cml::DiffPort dut = cells.AddBuffer("dut", o0);
+  cells.AddBuffer("x1", dut);
+  core::DetectorBuilder det(cells, dopt);
+  const std::string vout_name = variant == 1 ? det.AttachVariant1("det", dut)
+                                             : det.AttachVariant2("det", dut);
+  netlist::Netlist target = nl;
+  if (pipe_resistance > 0.0) {
+    auto faulty = defects::WithDefect(nl, DutPipe(pipe_resistance));
+    if (!faulty.ok()) {
+      std::fprintf(stderr, "inject: %s\n", faulty.status().ToString().c_str());
+      std::exit(1);
+    }
+    target = std::move(faulty).value();
+  }
+  if (variant == 2) {
+    (void)core::SetTestMode(target, true, dopt.vtest_test_mode, tech.vgnd);
+  }
+  sim::TransientOptions opts;
+  opts.tstop = window;
+  opts.dt_max = std::min(1e-10, 0.05 / frequency);
+  auto r = MustRunTransient(target, opts);
+
+  DetectorPoint point;
+  point.frequency = frequency;
+  point.pipe = pipe_resistance;
+  auto diff = r.Differential(dut.p_name, dut.n_name).Window(window * 0.25, window);
+  point.amplitude = std::max(std::abs(diff.Max()), std::abs(diff.Min()));
+  auto vout = r.Voltage(vout_name);
+  point.response = waveform::MeasureDetectorResponse(vout);
+  point.fired = vout.Min() < tech.vgnd - 0.1;
+  return point;
+}
+
+std::vector<report::Column> DetectorPointColumns() {
+  using report::Tol;
+  return {
+      {"load", Tol::Exact()},
+      {"pipe", Tol::Exact()},
+      {"freq", "MHz", Tol::Exact()},
+      {"amplitude", "V", Tol::Abs(0.05)},
+      {"fired", Tol::Exact()},
+      {"tstability", "ns", Tol::Rel(0.15, 1.0)},
+      {"Vmax", "V", Tol::Abs(0.05)},
+  };
+}
+
+void AddDetectorPointRow(report::Table& table, double load_cap, double pipe,
+                         const DetectorPoint& pt) {
+  table.NewRow()
+      .Str(util::FormatEngineering(load_cap, "F"))
+      .Str(util::FormatEngineering(pipe))
+      .Num("%.0f", pt.frequency / 1e6)
+      .Num("%.2f", pt.amplitude)
+      .Str(pt.fired ? "yes" : "no");
+  if (pt.fired) {
+    table.Num("%.0f", pt.response.t_stability * 1e9);
+  } else {
+    table.Str(">window");
+  }
+  table.Num("%.3f", pt.response.vmax);
+}
+
+}  // namespace cmldft::bench

@@ -1,12 +1,11 @@
 // Shared scaffolding for the per-table/per-figure reproduction benches:
 // the paper's Fig. 3 testbench (8-buffer chain X11 X22 DUT X33..X77),
-// defect helpers, and uniform output headers.
+// defect helpers, and detector characterization points. Compiled once
+// into the cmldft_paper_bench library (linked by every bench binary)
+// instead of the former header-only copies per binary. The uniform
+// header banner and structured table emission live in src/report.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "core/detector.h"
 #include "defects/defect.h"
 #include "netlist/netlist.h"
+#include "report/report.h"
 #include "sim/transient.h"
 #include "waveform/measure.h"
 #include "util/status.h"
@@ -22,11 +22,9 @@ namespace cmldft::bench {
 
 /// Stage names of the paper's Fig. 3 chain; the defective buffer is the
 /// third ("dut").
-inline const std::vector<std::string> kChainNames = {
-    "x11", "x22", "dut", "x33", "x44", "x55", "x66", "x77"};
+extern const std::vector<std::string> kChainNames;
 /// The paper's output labels for the same stages.
-inline const std::vector<std::string> kOutputLabels = {
-    "op1", "a", "op", "op3", "op4", "op5", "op6", "op7"};
+extern const std::vector<std::string> kOutputLabels;
 
 struct PaperChain {
   netlist::Netlist nl;
@@ -36,47 +34,16 @@ struct PaperChain {
 };
 
 /// Build the Fig. 3 chain driven by a differential clock at `frequency`.
-inline PaperChain MakePaperChain(double frequency) {
-  PaperChain chain;
-  cml::CellBuilder cells(chain.nl, chain.tech);
-  chain.input = cells.AddDifferentialClock("va", frequency);
-  chain.outs =
-      cells.AddBufferChain("x", chain.input, static_cast<int>(kChainNames.size()),
-                           kChainNames);
-  return chain;
-}
+PaperChain MakePaperChain(double frequency);
 
 /// C-E pipe on the DUT's current-source transistor (the paper's central
 /// defect).
-inline defects::Defect DutPipe(double resistance) {
-  defects::Defect d;
-  d.type = defects::DefectType::kTransistorPipe;
-  d.device = "dut.q3";
-  d.terminal_a = 0;
-  d.terminal_b = 2;
-  d.resistance = resistance;
-  return d;
-}
+defects::Defect DutPipe(double resistance);
 
-inline netlist::Netlist WithDutPipe(const PaperChain& chain, double resistance) {
-  auto faulty = defects::WithDefect(chain.nl, DutPipe(resistance));
-  if (!faulty.ok()) {
-    std::fprintf(stderr, "defect injection failed: %s\n",
-                 faulty.status().ToString().c_str());
-    std::exit(1);
-  }
-  return std::move(faulty).value();
-}
+netlist::Netlist WithDutPipe(const PaperChain& chain, double resistance);
 
-inline sim::TransientResult MustRunTransient(const netlist::Netlist& nl,
-                                             const sim::TransientOptions& opts) {
-  auto r = sim::RunTransient(nl, opts);
-  if (!r.ok()) {
-    std::fprintf(stderr, "transient failed: %s\n", r.status().ToString().c_str());
-    std::exit(1);
-  }
-  return std::move(r).value();
-}
+sim::TransientResult MustRunTransient(const netlist::Netlist& nl,
+                                      const sim::TransientOptions& opts);
 
 /// One point of the Fig. 8 / Fig. 10 detector characterization: a 3-buffer
 /// chain whose middle (DUT) gate carries a C-E pipe, one detector of the
@@ -89,53 +56,17 @@ struct DetectorPoint {
   bool fired = false;           ///< vout dropped > 0.1 V below vgnd in window
 };
 
-inline DetectorPoint RunDetectorPoint(int variant, double frequency,
-                                      double pipe_resistance, double window,
-                                      const core::DetectorOptions& dopt) {
-  netlist::Netlist nl;
-  cml::CmlTechnology tech;
-  cml::CellBuilder cells(nl, tech);
-  const cml::DiffPort in = cells.AddDifferentialClock("va", frequency);
-  const cml::DiffPort o0 = cells.AddBuffer("x0", in);
-  const cml::DiffPort dut = cells.AddBuffer("dut", o0);
-  cells.AddBuffer("x1", dut);
-  core::DetectorBuilder det(cells, dopt);
-  const std::string vout_name = variant == 1 ? det.AttachVariant1("det", dut)
-                                             : det.AttachVariant2("det", dut);
-  netlist::Netlist target = nl;
-  if (pipe_resistance > 0.0) {
-    auto faulty = defects::WithDefect(nl, DutPipe(pipe_resistance));
-    if (!faulty.ok()) {
-      std::fprintf(stderr, "inject: %s\n", faulty.status().ToString().c_str());
-      std::exit(1);
-    }
-    target = std::move(faulty).value();
-  }
-  if (variant == 2) {
-    (void)core::SetTestMode(target, true, dopt.vtest_test_mode, tech.vgnd);
-  }
-  sim::TransientOptions opts;
-  opts.tstop = window;
-  opts.dt_max = std::min(1e-10, 0.05 / frequency);
-  auto r = MustRunTransient(target, opts);
+DetectorPoint RunDetectorPoint(int variant, double frequency,
+                               double pipe_resistance, double window,
+                               const core::DetectorOptions& dopt);
 
-  DetectorPoint point;
-  point.frequency = frequency;
-  point.pipe = pipe_resistance;
-  auto diff = r.Differential(dut.p_name, dut.n_name).Window(window * 0.25, window);
-  point.amplitude = std::max(std::abs(diff.Max()), std::abs(diff.Min()));
-  auto vout = r.Voltage(vout_name);
-  point.response = waveform::MeasureDetectorResponse(vout);
-  point.fired = vout.Min() < tech.vgnd - 0.1;
-  return point;
-}
+/// The fig08/fig10 characterization tables share one shape: build it once.
+/// Columns: load, pipe, freq (MHz), amplitude (V), fired, tstability (ns),
+/// Vmax (V).
+std::vector<report::Column> DetectorPointColumns();
 
-inline void PrintHeader(const char* experiment, const char* paper_ref,
-                        const char* summary) {
-  std::printf("================================================================\n");
-  std::printf("%s  —  reproduces %s\n", experiment, paper_ref);
-  std::printf("%s\n", summary);
-  std::printf("================================================================\n\n");
-}
+/// Append one DetectorPoint row to a table with DetectorPointColumns().
+void AddDetectorPointRow(report::Table& table, double load_cap, double pipe,
+                         const DetectorPoint& pt);
 
 }  // namespace cmldft::bench

@@ -14,9 +14,9 @@
 
 #include "bench/paper_bench.h"
 #include "cml/variation.h"
+#include "report/report.h"
 #include "util/strings.h"
 #include "util/rng.h"
-#include "util/table.h"
 #include "waveform/measure.h"
 
 using namespace cmldft;
@@ -66,8 +66,9 @@ Stats Summarize(const std::vector<double>& v) {
 }
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "sec1_delay_masking",
       "§1 claim (per-gate delay variation masks a 2x-slow gate)",
       "Monte-Carlo: 10-gate chains, per-gate process variation, middle gate "
@@ -92,15 +93,22 @@ int main() {
 
   const Stats g = Summarize(good);
   const Stats b = Summarize(bad);
-  util::Table table({"population", "mean (ps)", "sigma (ps)", "min (ps)",
-                     "max (ps)"});
-  table.NewRow().Add("fault-free").AddF("%.0f", g.mean * 1e12)
-      .AddF("%.1f", g.stddev * 1e12).AddF("%.0f", g.min * 1e12)
-      .AddF("%.0f", g.max * 1e12);
-  table.NewRow().Add("2x-slow gate").AddF("%.0f", b.mean * 1e12)
-      .AddF("%.1f", b.stddev * 1e12).AddF("%.0f", b.min * 1e12)
-      .AddF("%.0f", b.max * 1e12);
-  std::printf("%s\n", table.ToString().c_str());
+  using report::Tol;
+  // The RNG stream is fixed (seed 2026) so the populations are
+  // reproducible; tolerances absorb solver-level drift only.
+  report::Table& table = rep.AddTable(
+      "delay_populations", {{"population", Tol::Exact()},
+                            {"mean", "ps", Tol::Rel(0.05, 5.0)},
+                            {"sigma", "ps", Tol::Rel(0.25, 1.0)},
+                            {"min", "ps", Tol::Rel(0.05, 5.0)},
+                            {"max", "ps", Tol::Rel(0.05, 5.0)}});
+  table.NewRow().Str("fault-free").Num("%.0f", g.mean * 1e12)
+      .Num("%.1f", g.stddev * 1e12).Num("%.0f", g.min * 1e12)
+      .Num("%.0f", g.max * 1e12);
+  table.NewRow().Str("2x-slow gate").Num("%.0f", b.mean * 1e12)
+      .Num("%.1f", b.stddev * 1e12).Num("%.0f", b.min * 1e12)
+      .Num("%.0f", b.max * 1e12);
+  std::printf("%s\n", table.ToText().c_str());
 
   // A delay test must pass every good die: its limit is the slowest good
   // chain. Faulty chains under that limit escape.
@@ -109,6 +117,9 @@ int main() {
   for (double d : bad) {
     if (d <= limit) ++escapes;
   }
+  rep.AddScalar("delay_test_limit_ps", limit * 1e12, "ps", Tol::Rel(0.05, 5.0));
+  rep.AddScalar("escapes", escapes, "", Tol::Abs(3.0));
+  rep.AddInt("trials", kTrials);
   std::printf("per-gate delay variation (sigma/mean of good population, "
               "scaled to one gate): ~%.0f%%\n",
               100.0 * g.stddev / g.mean * std::sqrt(kChain));
@@ -121,5 +132,5 @@ int main() {
       "test once per-gate variation is taken into account — the overlap\n"
       "above quantifies that escape rate. The amplitude detectors are\n"
       "per-gate observers, so chain-depth averaging never masks them.\n");
-  return 0;
+  return io.Finish();
 }

@@ -9,16 +9,17 @@
 
 #include "bench/paper_bench.h"
 #include "digital/faultsim.h"
-#include "util/strings.h"
 #include "digital/patterns.h"
+#include "report/report.h"
 #include "testgen/amplitude_test.h"
-#include "util/table.h"
+#include "util/strings.h"
 #include "waveform/plot.h"
 
 using namespace cmldft;
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "sec66_toggle_coverage",
       "section 6.6 (toggle coverage with random patterns; initialization)",
       "scrambler & counter (sequential), parity-mux & ISCAS c17 "
@@ -35,8 +36,16 @@ int main() {
       {"c17", digital::MakeC17()},
   };
 
-  util::Table table({"circuit", "signals", "dffs", "toggle cov (2000 pat)",
-                     "patterns to 100%", "init converges in", "stuck-at cov"});
+  using report::Tol;
+  // Everything here is a deterministic digital simulation: exact.
+  report::Table& table = rep.AddTable(
+      "toggle_coverage", {{"circuit", Tol::Exact()},
+                          {"signals", Tol::Exact()},
+                          {"dffs", Tol::Exact()},
+                          {"toggle cov", "%", Tol::Exact()},
+                          {"patterns to 100%", Tol::Exact()},
+                          {"init converges in", Tol::Exact()},
+                          {"stuck-at cov", "%", Tol::Exact()}});
   std::vector<waveform::Series> curves;
   for (auto& c : circuits) {
     const auto plan = testgen::PlanSequentialToggleTest(c.nl, {});
@@ -45,17 +54,17 @@ int main() {
         static_cast<int>(c.nl.inputs().size()), 512, 0xACE1u);
     const auto fs = digital::RunStuckAtFaultSim(c.nl, faults, patterns);
     table.NewRow()
-        .Add(c.name)
-        .AddInt(c.nl.num_signals())
-        .AddInt(static_cast<long long>(c.nl.dffs().size()))
-        .AddF("%.1f%%", plan.history.final_coverage * 100)
-        .Add(plan.history.PatternsToReach(1.0) > 0
+        .Str(c.name)
+        .Int(c.nl.num_signals())
+        .Int(static_cast<long long>(c.nl.dffs().size()))
+        .Num("%.1f", plan.history.final_coverage * 100)
+        .Str(plan.history.PatternsToReach(1.0) > 0
                  ? util::StrPrintf("%d", plan.history.PatternsToReach(1.0))
                  : std::string("not reached"))
-        .Add(plan.convergence.converged
+        .Str(plan.convergence.converged
                  ? util::StrPrintf("%d cycles", plan.convergence.cycles_to_converge)
                  : std::string("no"))
-        .AddF("%.1f%%", fs.Coverage() * 100);
+        .Num("%.1f", fs.Coverage() * 100);
     waveform::Series s;
     s.name = c.name;
     for (size_t i = 0; i < plan.history.pattern_counts.size(); ++i) {
@@ -66,13 +75,19 @@ int main() {
     }
     curves.push_back(std::move(s));
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
   std::printf("toggle coverage (%%) vs random patterns applied:\n%s\n",
               waveform::AsciiPlotSeries(curves).c_str());
 
   // Combinational plan: compact sensitizing vector set.
   const auto comb = digital::MakeParityMux(8);
   const auto plan = testgen::PlanCombinationalToggleTest(comb, {});
+  rep.AddInt("parity_mux8_plan_vectors",
+             static_cast<long long>(plan.patterns.size()));
+  rep.AddScalar("parity_mux8_plan_coverage_pct", plan.coverage * 100, "%",
+                Tol::Exact());
+  rep.AddInt("parity_mux8_untoggled",
+             static_cast<long long>(plan.untoggled.size()));
   std::printf(
       "combinational amplitude-test plan for parity_mux8: %zu vectors reach\n"
       "%.1f%% toggle coverage (%zu gates untoggled).\n",
@@ -84,5 +99,5 @@ int main() {
       "initialization is unproblematic because circuits \"tend to converge\n"
       "to a deterministic state, irrespective of the initial state\" [13] —\n"
       "both quantified above.\n");
-  return 0;
+  return io.Finish();
 }

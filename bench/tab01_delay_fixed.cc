@@ -8,7 +8,7 @@
 #include <optional>
 
 #include "bench/paper_bench.h"
-#include "util/table.h"
+#include "report/report.h"
 #include "waveform/measure.h"
 
 using namespace cmldft;
@@ -24,8 +24,9 @@ std::optional<double> FirstCrossing(const sim::TransientResult& r,
 }
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "tab01_delay_fixed",
       "Table 1 (delays at the fixed 'normal crossing point' reference)",
       "8-buffer chain, 100 MHz, 4 kOhm pipe on DUT.q3; cumulative edge "
@@ -50,9 +51,18 @@ int main() {
   const double t_edge = in_cross[1];
 
   std::printf("fixed reference voltage: %.3f V (paper: 3.165 V)\n\n", vref);
-  util::Table table({"output", "FF p (ps)", "Pipe p (ps)", "dt p (ps)",
-                     "FF n (ps)", "Pipe n (ps)", "dt n (ps)"});
-  table.NewRow().Add("va/vab").Add("0").Add("0").Add("0").Add("0").Add("0").Add("0");
+  using report::Tol;
+  // Cumulative edge times drift with integration detail; the delay
+  // *differences* are the claim, so they get the tight tolerance.
+  report::Table& table = rep.AddTable(
+      "delays_fixed_ref", {{"output", Tol::Exact()},
+                           {"FF p", "ps", Tol::Rel(0.05, 10.0)},
+                           {"Pipe p", "ps", Tol::Rel(0.05, 10.0)},
+                           {"dt p", "ps", Tol::Abs(10.0)},
+                           {"FF n", "ps", Tol::Rel(0.05, 10.0)},
+                           {"Pipe n", "ps", Tol::Rel(0.05, 10.0)},
+                           {"dt n", "ps", Tol::Abs(10.0)}});
+  table.NewRow().Str("va/vab").Int(0).Int(0).Int(0).Int(0).Int(0).Int(0);
   double last_dtp = 0.0, dut_dtn = 0.0, dut_dtp = 0.0;
   for (size_t s = 0; s < chain.outs.size(); ++s) {
     auto row_val = [&](const sim::TransientResult& r, const std::string& node) {
@@ -64,25 +74,28 @@ int main() {
     const double ffn = row_val(good, chain.outs[s].n_name);
     const double bn = row_val(bad, chain.outs[s].n_name);
     table.NewRow()
-        .Add(bench::kOutputLabels[s])
-        .AddF("%.0f", ffp)
-        .AddF("%.0f", bp)
-        .AddF("%.0f", bp - ffp)
-        .AddF("%.0f", ffn)
-        .AddF("%.0f", bn)
-        .AddF("%.0f", bn - ffn);
+        .Str(bench::kOutputLabels[s])
+        .Num("%.0f", ffp)
+        .Num("%.0f", bp)
+        .Num("%.0f", bp - ffp)
+        .Num("%.0f", ffn)
+        .Num("%.0f", bn)
+        .Num("%.0f", bn - ffn);
     if (s == 2) {
       dut_dtp = bp - ffp;  // one DUT output appears slower...
       dut_dtn = bn - ffn;  // ...its complement faster (paper: +58 / -16 ps)
     }
     if (s + 1 == chain.outs.size()) last_dtp = bp - ffp;
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
+  rep.AddScalar("dut_dtp_ps", dut_dtp, "ps", Tol::Abs(10.0));
+  rep.AddScalar("dut_dtn_ps", dut_dtn, "ps", Tol::Abs(10.0));
+  rep.AddScalar("final_output_shift_ps", last_dtp, "ps", Tol::Abs(5.0));
   std::printf(
       "paper: one DUT output appears ~58 ps slower while its complement\n"
       "appears faster (-16 ps), yet the final-output difference is 0-1 ps.\n"
       "measured: DUT-output shifts %+.0f / %+.0f ps; final-output shift "
       "%+.0f ps (healed -> escapes delay test).\n",
       dut_dtp, dut_dtn, last_dtp);
-  return 0;
+  return io.Finish();
 }

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/paper_bench.h"
-#include "util/table.h"
+#include "report/report.h"
 #include "waveform/measure.h"
 
 using namespace cmldft;
@@ -22,8 +22,9 @@ double FirstDiffCrossing(const sim::TransientResult& r, const cml::DiffPort& p,
 }
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  report::BenchIo io(argc, argv);
+  report::Report& rep = io.Begin(
       "tab02_delay_actual",
       "Table 2 (delays at the actual op/opb crossing voltage)",
       "same chain and 4 kOhm pipe; per-stage gate delay and dTau vs "
@@ -40,8 +41,15 @@ int main() {
       good.Voltage(chain.input.p_name), good.Voltage(chain.input.n_name));
   const double t_edge = in_cross.size() > 1 ? in_cross[1] : in_cross[0];
 
-  util::Table table({"output", "tauFF (ps)", "delayFF (ps)", "tauPipe (ps)",
-                     "delayPipe (ps)", "dTau (ps)", "d%"});
+  using report::Tol;
+  report::Table& table = rep.AddTable(
+      "delays_actual_crossing", {{"output", Tol::Exact()},
+                                 {"tauFF", "ps", Tol::Rel(0.05, 10.0)},
+                                 {"delayFF", "ps", Tol::Abs(10.0)},
+                                 {"tauPipe", "ps", Tol::Rel(0.05, 10.0)},
+                                 {"delayPipe", "ps", Tol::Abs(10.0)},
+                                 {"dTau", "ps", Tol::Abs(10.0)},
+                                 {"d%", "%", Tol::Abs(5.0)}});
   double prev_ff = 0.0, prev_pipe = 0.0;
   double dut_pct = 0.0, final_pct = 0.0, nominal_delay = 0.0;
   for (size_t s = 0; s < chain.outs.size(); ++s) {
@@ -54,20 +62,24 @@ int main() {
     const double dtau = tp - tff;
     const double pct = dff > 0 ? 100.0 * dtau / dff : 0.0;
     table.NewRow()
-        .Add(bench::kOutputLabels[s])
-        .AddF("%.0f", tff)
-        .AddF("%.0f", dff)
-        .AddF("%.0f", tp)
-        .AddF("%.0f", dp)
-        .AddF("%.0f", dtau)
-        .AddF("%.0f", pct);
+        .Str(bench::kOutputLabels[s])
+        .Num("%.0f", tff)
+        .Num("%.0f", dff)
+        .Num("%.0f", tp)
+        .Num("%.0f", dp)
+        .Num("%.0f", dtau)
+        .Num("%.0f", pct);
     if (s == 2) dut_pct = pct;
     if (s + 1 == chain.outs.size()) final_pct = pct;
     if (s == 4) nominal_delay = dff;
     prev_ff = tff;
     prev_pipe = tp;
   }
-  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%s\n", table.ToText().c_str());
+  rep.AddScalar("dut_dtau_pct", dut_pct, "%", Tol::Abs(5.0));
+  rep.AddScalar("final_dtau_pct", final_pct, "%", Tol::Abs(3.0));
+  rep.AddScalar("nominal_gate_delay_ps", nominal_delay, "ps",
+                Tol::Rel(0.1, 5.0));
   std::printf(
       "paper: with the actual-crossing measurement \"even at DUTf, the delay\n"
       "differences were modest\" (13%% at the DUT, ~2%% at the end; nominal "
@@ -75,5 +87,5 @@ int main() {
       "measured: DUT dTau = %.0f%% of a gate delay; final output %.0f%%; "
       "nominal gate delay %.0f ps.\n",
       dut_pct, final_pct, nominal_delay);
-  return 0;
+  return io.Finish();
 }

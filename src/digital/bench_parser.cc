@@ -167,4 +167,38 @@ StatusOr<GateNetlist> ParseBench(std::string_view text) {
   return nl;
 }
 
+StatusOr<std::string> WriteBench(const GateNetlist& nl) {
+  std::string out;
+  for (SignalId in : nl.inputs()) {
+    out += StrPrintf("INPUT(%s)\n", nl.gate(in).name.c_str());
+  }
+  for (SignalId o : nl.outputs()) {
+    out += StrPrintf("OUTPUT(%s)\n", nl.gate(o).name.c_str());
+  }
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    const Gate& g = nl.gate(id);
+    const char* fn = nullptr;
+    switch (g.type) {
+      case GateType::kInput:
+        continue;
+      case GateType::kBuf:  fn = "BUFF"; break;
+      case GateType::kNot:  fn = "NOT";  break;
+      case GateType::kAnd2: fn = "AND";  break;
+      case GateType::kOr2:  fn = "OR";   break;
+      case GateType::kXor2: fn = "XOR";  break;
+      case GateType::kDff:  fn = "DFF";  break;
+      case GateType::kMux2:
+        return Status::InvalidArgument("gate '" + g.name +
+                                       "': MUX2 has no .bench function");
+    }
+    std::string args;
+    for (size_t i = 0; i < g.fanin.size(); ++i) {
+      if (i > 0) args += ", ";
+      args += nl.gate(g.fanin[i]).name;
+    }
+    out += StrPrintf("%s = %s(%s)\n", g.name.c_str(), fn, args.c_str());
+  }
+  return out;
+}
+
 }  // namespace cmldft::digital

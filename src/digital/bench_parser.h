@@ -22,4 +22,9 @@ namespace cmldft::digital {
 
 util::StatusOr<GateNetlist> ParseBench(std::string_view text);
 
+/// Serialize a gate netlist back to .bench text — the inverse of
+/// ParseBench for the gate set .bench can express (BUFF/NOT/AND/OR/XOR/
+/// DFF). MUX2 has no .bench function and yields kInvalidArgument.
+util::StatusOr<std::string> WriteBench(const GateNetlist& nl);
+
 }  // namespace cmldft::digital

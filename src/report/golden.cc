@@ -1,0 +1,245 @@
+#include "report/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "report/report.h"
+#include "util/strings.h"
+
+namespace cmldft::report {
+
+namespace {
+
+/// True when `a` matches `g` within tolerance `t`. Cells are either JSON
+/// numbers (compared numerically) or strings (compared exactly); a kind
+/// mismatch — e.g. a "fired" verdict flipping from a time to ">window" —
+/// is always drift.
+bool CellMatches(const Json& a, const Json& g, const Tol& t,
+                 std::string* why) {
+  if (t.kind == Tol::Kind::kInfo) return true;
+  if (a.is_null() && g.is_null()) return true;  // non-finite on both sides
+  if (a.kind() != g.kind()) {
+    *why = util::StrPrintf("value kind changed (%s vs %s)",
+                           a.is_number() ? "number" : "string",
+                           g.is_number() ? "number" : "string");
+    return false;
+  }
+  if (g.is_string()) {
+    if (a.AsString() == g.AsString()) return true;
+    *why = "\"" + a.AsString() + "\" != golden \"" + g.AsString() + "\"";
+    return false;
+  }
+  if (!g.is_number()) {
+    *why = "unsupported cell type in golden";
+    return false;
+  }
+  const double av = a.AsNumber();
+  const double gv = g.AsNumber();
+  const double diff = std::fabs(av - gv);
+  bool ok = false;
+  switch (t.kind) {
+    case Tol::Kind::kExact:
+      ok = av == gv;
+      break;
+    case Tol::Kind::kAbs:
+      ok = diff <= t.value;
+      break;
+    case Tol::Kind::kRel:
+      ok = diff <= t.value * std::max({std::fabs(av), std::fabs(gv), t.floor});
+      break;
+    case Tol::Kind::kInfo:
+      ok = true;
+      break;
+  }
+  if (!ok) {
+    *why = util::StrPrintf("%.9g != golden %.9g (|diff| %.3g, tolerance %s)",
+                           av, gv, diff, t.Describe().c_str());
+  }
+  return ok;
+}
+
+const Json* FindByName(const Json& array, std::string_view name) {
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (array.at(i).GetString("name") == name) return &array.at(i);
+  }
+  return nullptr;
+}
+
+void CompareScalars(const Json& actual, const Json& golden, GoldenDiff* out) {
+  const Json* gs = golden.Find("scalars");
+  const Json* as = actual.Find("scalars");
+  static const Json kEmpty = Json::Array();
+  if (gs == nullptr) gs = &kEmpty;
+  if (as == nullptr) as = &kEmpty;
+  for (size_t i = 0; i < gs->size(); ++i) {
+    const Json& g = gs->at(i);
+    const std::string name = g.GetString("name");
+    const Json* a = FindByName(*as, name);
+    if (a == nullptr) {
+      out->mismatches.push_back("scalar '" + name + "' missing from run");
+      continue;
+    }
+    const Json* gv = g.Find("value");
+    const Json* av = a->Find("value");
+    if (gv == nullptr || av == nullptr) {
+      out->mismatches.push_back("scalar '" + name + "' has no value field");
+      continue;
+    }
+    ++out->values_compared;
+    const Json* gt = g.Find("tol");
+    const Tol tol = gt != nullptr ? Tol::FromJson(*gt) : Tol::Exact();
+    std::string why;
+    if (!CellMatches(*av, *gv, tol, &why)) {
+      out->mismatches.push_back("scalar '" + name + "': " + why);
+    }
+  }
+  for (size_t i = 0; i < as->size(); ++i) {
+    const std::string name = as->at(i).GetString("name");
+    if (FindByName(*gs, name) == nullptr) {
+      out->mismatches.push_back("scalar '" + name +
+                                "' not in golden (regenerate snapshot?)");
+    }
+  }
+}
+
+void CompareTable(const Json& a, const Json& g, GoldenDiff* out) {
+  const std::string tname = g.GetString("name");
+  const Json* gcols = g.Find("columns");
+  const Json* acols = a.Find("columns");
+  const Json* grows = g.Find("rows");
+  const Json* arows = a.Find("rows");
+  if (gcols == nullptr || grows == nullptr || acols == nullptr ||
+      arows == nullptr) {
+    out->mismatches.push_back("table '" + tname + "': malformed (no columns/rows)");
+    return;
+  }
+  if (acols->size() != gcols->size()) {
+    out->mismatches.push_back(util::StrPrintf(
+        "table '%s': %zu columns vs golden %zu", tname.c_str(), acols->size(),
+        gcols->size()));
+    return;
+  }
+  std::vector<Tol> tols;
+  for (size_t c = 0; c < gcols->size(); ++c) {
+    const std::string gname = gcols->at(c).GetString("name");
+    const std::string aname = acols->at(c).GetString("name");
+    if (gname != aname) {
+      out->mismatches.push_back("table '" + tname + "' column " +
+                                std::to_string(c) + ": name '" + aname +
+                                "' vs golden '" + gname + "'");
+    }
+    const Json* t = gcols->at(c).Find("tol");
+    tols.push_back(t != nullptr ? Tol::FromJson(*t) : Tol::Exact());
+  }
+  if (arows->size() != grows->size()) {
+    out->mismatches.push_back(util::StrPrintf(
+        "table '%s': %zu rows vs golden %zu", tname.c_str(), arows->size(),
+        grows->size()));
+    return;
+  }
+  for (size_t r = 0; r < grows->size(); ++r) {
+    const Json& grow = grows->at(r);
+    const Json& arow = arows->at(r);
+    if (arow.size() != grow.size()) {
+      out->mismatches.push_back(util::StrPrintf(
+          "table '%s' row %zu: %zu cells vs golden %zu", tname.c_str(), r,
+          arow.size(), grow.size()));
+      continue;
+    }
+    for (size_t c = 0; c < grow.size() && c < tols.size(); ++c) {
+      ++out->values_compared;
+      std::string why;
+      if (!CellMatches(arow.at(c), grow.at(c), tols[c], &why)) {
+        out->mismatches.push_back(util::StrPrintf(
+            "table '%s' row %zu col '%s': %s", tname.c_str(), r,
+            gcols->at(c).GetString("name").c_str(), why.c_str()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string GoldenDiff::Summary() const {
+  if (ok()) {
+    return util::StrPrintf("OK: %d values within tolerance", values_compared);
+  }
+  std::string out = util::StrPrintf(
+      "DRIFT: %zu mismatches (%d values compared)\n", mismatches.size(),
+      values_compared);
+  for (const std::string& m : mismatches) {
+    out += "  " + m + "\n";
+  }
+  return out;
+}
+
+GoldenDiff CompareReports(const Json& actual, const Json& golden) {
+  GoldenDiff diff;
+  const std::string gexp = golden.GetString("experiment");
+  const std::string aexp = actual.GetString("experiment");
+  if (gexp != aexp) {
+    diff.mismatches.push_back("experiment '" + aexp + "' vs golden '" + gexp +
+                              "' — comparing the wrong snapshot?");
+    return diff;
+  }
+  CompareScalars(actual, golden, &diff);
+
+  static const Json kEmpty = Json::Array();
+  const Json* gtables = golden.Find("tables");
+  const Json* atables = actual.Find("tables");
+  if (gtables == nullptr) gtables = &kEmpty;
+  if (atables == nullptr) atables = &kEmpty;
+  for (size_t i = 0; i < gtables->size(); ++i) {
+    const std::string name = gtables->at(i).GetString("name");
+    const Json* a = FindByName(*atables, name);
+    if (a == nullptr) {
+      diff.mismatches.push_back("table '" + name + "' missing from run");
+      continue;
+    }
+    CompareTable(*a, gtables->at(i), &diff);
+  }
+  for (size_t i = 0; i < atables->size(); ++i) {
+    const std::string name = atables->at(i).GetString("name");
+    if (FindByName(*gtables, name) == nullptr) {
+      diff.mismatches.push_back("table '" + name +
+                                "' not in golden (regenerate snapshot?)");
+    }
+  }
+  return diff;
+}
+
+GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden) {
+  GoldenDiff diff;
+  auto names_of = [](const Json& doc) {
+    std::multiset<std::string> names;
+    const Json* benches = doc.Find("benchmarks");
+    if (benches != nullptr) {
+      for (size_t i = 0; i < benches->size(); ++i) {
+        // Aggregate rows (mean/median/stddev) appear only with repetition
+        // flags; compare base runs only.
+        if (benches->at(i).GetString("run_type", "iteration") == "iteration") {
+          names.insert(benches->at(i).GetString("name"));
+        }
+      }
+    }
+    return names;
+  };
+  const auto a = names_of(actual);
+  const auto g = names_of(golden);
+  diff.values_compared = static_cast<int>(g.size());
+  for (const std::string& name : g) {
+    if (a.count(name) == 0) {
+      diff.mismatches.push_back("benchmark '" + name + "' missing from run");
+    }
+  }
+  for (const std::string& name : a) {
+    if (g.count(name) == 0) {
+      diff.mismatches.push_back("benchmark '" + name +
+                                "' not in golden (regenerate snapshot?)");
+    }
+  }
+  return diff;
+}
+
+}  // namespace cmldft::report

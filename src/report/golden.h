@@ -1,0 +1,33 @@
+// Tolerance-aware diffing of a regenerated bench report against its
+// committed golden snapshot. Library form so tools/golden_check stays a
+// thin main() and the comparison rules themselves are unit-tested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+
+namespace cmldft::report {
+
+struct GoldenDiff {
+  std::vector<std::string> mismatches;  ///< one human-readable line each
+  int values_compared = 0;
+  bool ok() const { return mismatches.empty(); }
+  std::string Summary() const;
+};
+
+/// Compare a freshly generated report (`actual`) against the committed
+/// snapshot (`golden`). The golden file is authoritative for structure
+/// and tolerances: every golden scalar/table/column/row must be present
+/// and within its declared tolerance class, and the actual report must
+/// not contain scalars or tables the golden does not know about (silent
+/// schema growth is drift too — regenerate the snapshot intentionally).
+GoldenDiff CompareReports(const Json& actual, const Json& golden);
+
+/// Structural comparison for google-benchmark JSON output: the sorted
+/// multiset of benchmark names must match golden's "benchmarks" name
+/// list exactly. Timings are machine-dependent and never compared.
+GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden);
+
+}  // namespace cmldft::report

@@ -1,0 +1,245 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "util/strings.h"
+
+namespace cmldft::report {
+
+namespace {
+std::string_view TolKindName(Tol::Kind k) {
+  switch (k) {
+    case Tol::Kind::kExact: return "exact";
+    case Tol::Kind::kAbs: return "abs";
+    case Tol::Kind::kRel: return "rel";
+    case Tol::Kind::kInfo: return "info";
+  }
+  return "exact";
+}
+}  // namespace
+
+Json Tol::ToJson() const {
+  Json j = Json::Object();
+  j.Set("kind", Json::Str(std::string(TolKindName(kind))));
+  if (kind == Kind::kAbs || kind == Kind::kRel) {
+    j.Set("value", Json::Number(value));
+  }
+  if (kind == Kind::kRel) {
+    j.Set("floor", Json::Number(floor));
+  }
+  return j;
+}
+
+Tol Tol::FromJson(const Json& j) {
+  Tol t = Tol::Exact();
+  if (!j.is_object()) return t;
+  const std::string kind = j.GetString("kind", "exact");
+  if (kind == "abs") {
+    t = Tol::Abs(j.GetNumber("value"));
+  } else if (kind == "rel") {
+    t = Tol::Rel(j.GetNumber("value"), j.GetNumber("floor", 1e-9));
+  } else if (kind == "info") {
+    t = Tol::Info();
+  }
+  return t;
+}
+
+std::string Tol::Describe() const {
+  switch (kind) {
+    case Kind::kExact: return "exact";
+    case Kind::kAbs: return util::StrPrintf("abs %g", value);
+    case Kind::kRel: return util::StrPrintf("rel %g%%", value * 100.0);
+    case Kind::kInfo: return "informational";
+  }
+  return "exact";
+}
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Str(std::string text) {
+  if (rows_.empty()) NewRow();
+  rows_.back().push_back(Cell{std::move(text), std::nullopt});
+  return *this;
+}
+
+Table& Table::Num(const char* fmt, double value) {
+  if (rows_.empty()) NewRow();
+  rows_.back().push_back(Cell{util::StrPrintf(fmt, value), value});
+  return *this;
+}
+
+Table& Table::Int(long long value) {
+  if (rows_.empty()) NewRow();
+  rows_.back().push_back(
+      Cell{util::StrPrintf("%lld", value), static_cast<double>(value)});
+  return *this;
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  auto header_of = [&](size_t c) {
+    return columns_[c].unit.empty()
+               ? columns_[c].name
+               : columns_[c].name + " (" + columns_[c].unit + ")";
+  };
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = header_of(c).size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].text.size());
+    }
+  }
+  std::string out;
+  auto render = [&](auto&& text_of, size_t n) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string v = c < n ? text_of(c) : std::string();
+      line += v;
+      line.append(widths[c] - std::min(widths[c], v.size()) + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line;
+    out += '\n';
+  };
+  render([&](size_t c) { return header_of(c); }, columns_.size());
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    render([&](size_t c) { return row[c].text; }, row.size());
+  }
+  return out;
+}
+
+namespace {
+Json CellToJson(const Cell& cell) {
+  if (cell.number.has_value()) return Json::Number(*cell.number);
+  return Json::Str(cell.text);
+}
+}  // namespace
+
+Json Table::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(name_));
+  Json cols = Json::Array();
+  for (const Column& c : columns_) {
+    Json col = Json::Object();
+    col.Set("name", Json::Str(c.name));
+    if (!c.unit.empty()) col.Set("unit", Json::Str(c.unit));
+    col.Set("tol", c.tol.ToJson());
+    cols.Append(std::move(col));
+  }
+  j.Set("columns", std::move(cols));
+  Json rows = Json::Array();
+  for (const auto& row : rows_) {
+    Json r = Json::Array();
+    for (const Cell& cell : row) r.Append(CellToJson(cell));
+    rows.Append(std::move(r));
+  }
+  j.Set("rows", std::move(rows));
+  return j;
+}
+
+Report::Report(std::string experiment, std::string paper_ref,
+               std::string summary)
+    : experiment_(std::move(experiment)),
+      paper_ref_(std::move(paper_ref)),
+      summary_(std::move(summary)) {}
+
+Table& Report::AddTable(std::string name, std::vector<Column> columns) {
+  tables_.push_back(
+      std::make_unique<Table>(std::move(name), std::move(columns)));
+  return *tables_.back();
+}
+
+void Report::AddScalar(std::string name, double value, std::string unit,
+                       Tol tol) {
+  scalars_.push_back(Scalar{std::move(name), std::move(unit), tol,
+                            Cell{util::StrPrintf("%.9g", value), value}});
+}
+
+void Report::AddInt(std::string name, long long value, std::string unit) {
+  scalars_.push_back(
+      Scalar{std::move(name), std::move(unit), Tol::Exact(),
+             Cell{util::StrPrintf("%lld", value), static_cast<double>(value)}});
+}
+
+void Report::AddText(std::string name, std::string value) {
+  scalars_.push_back(Scalar{std::move(name), "", Tol::Exact(),
+                            Cell{std::move(value), std::nullopt}});
+}
+
+Json Report::ToJson() const {
+  Json j = Json::Object();
+  j.Set("schema", Json::Str("cmldft-report-v1"));
+  j.Set("experiment", Json::Str(experiment_));
+  j.Set("paper_ref", Json::Str(paper_ref_));
+  j.Set("summary", Json::Str(summary_));
+  Json scalars = Json::Array();
+  for (const Scalar& s : scalars_) {
+    Json sj = Json::Object();
+    sj.Set("name", Json::Str(s.name));
+    if (!s.unit.empty()) sj.Set("unit", Json::Str(s.unit));
+    sj.Set("tol", s.tol.ToJson());
+    sj.Set("value", CellToJson(s.cell));
+    scalars.Append(std::move(sj));
+  }
+  j.Set("scalars", std::move(scalars));
+  Json tables = Json::Array();
+  for (const auto& t : tables_) tables.Append(t->ToJson());
+  j.Set("tables", std::move(tables));
+  return j;
+}
+
+BenchIo::BenchIo(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path_ = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>]\n"
+                   "unrecognized argument: %s\n",
+                   argc > 0 ? argv[0] : "bench", arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+Report& BenchIo::Begin(const char* experiment, const char* paper_ref,
+                       const char* summary) {
+  std::printf("================================================================\n");
+  std::printf("%s  —  reproduces %s\n", experiment, paper_ref);
+  std::printf("%s\n", summary);
+  std::printf("================================================================\n\n");
+  report_ = std::make_unique<Report>(experiment, paper_ref, summary);
+  return *report_;
+}
+
+int BenchIo::Finish(int exit_code) {
+  if (!json_path_.empty()) {
+    if (report_ == nullptr) {
+      std::fprintf(stderr, "BenchIo::Finish called before Begin\n");
+      return 1;
+    }
+    util::Status st = WriteJsonFile(json_path_, report_->ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing %s failed: %s\n", json_path_.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace cmldft::report

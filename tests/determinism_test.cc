@@ -115,6 +115,52 @@ TEST(FaultSimDeterminism, MultiBatchBoundary) {
   EXPECT_EQ(packed.detected_at, serial.detected_at);
 }
 
+TEST(FaultSimDeterminism, ExactWordBoundary) {
+  // Exactly 64 faults: one full bit-parallel word, no ragged tail.
+  digital::GateNetlist nl = digital::MakeScrambler(32);
+  auto faults = digital::EnumerateStuckAtFaults(nl);
+  ASSERT_GE(faults.size(), 64u);
+  faults.resize(64);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), 48, 0xBEEFu);
+  const auto serial = digital::RunStuckAtFaultSimSerial(nl, faults, patterns);
+  const auto packed = digital::RunStuckAtFaultSim(nl, faults, patterns);
+  EXPECT_EQ(packed.detected_at, serial.detected_at);
+}
+
+TEST(FaultSimDeterminism, OddThreadCountMatchesSerial) {
+  // 3 threads never divides the batch count evenly.
+  digital::GateNetlist nl = digital::MakeParityMux(8);
+  const auto faults = digital::EnumerateStuckAtFaults(nl);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), 80, 0xACE1u);
+  const auto serial = digital::RunStuckAtFaultSimSerial(nl, faults, patterns);
+  digital::FaultSimOptions opt;
+  opt.threads = 3;
+  const auto packed = digital::RunStuckAtFaultSim(nl, faults, patterns, opt);
+  EXPECT_EQ(packed.detected, serial.detected);
+  EXPECT_EQ(packed.detected_at, serial.detected_at);
+}
+
+TEST(ScreeningDeterminism, OddThreadCountMatchesSerial) {
+  core::ScreeningOptions serial_opt = SmallScreening();
+  serial_opt.threads = 1;
+  core::ScreeningOptions odd_opt = SmallScreening();
+  odd_opt.threads = 3;  // more threads than defects is also legal
+
+  auto serial = core::ScreenBufferChain(serial_opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto odd = core::ScreenBufferChain(odd_opt);
+  ASSERT_TRUE(odd.ok()) << odd.status().ToString();
+  ASSERT_EQ(serial->total(), odd->total());
+  for (int i = 0; i < serial->total(); ++i) {
+    const core::DefectOutcome& a = serial->outcomes[static_cast<size_t>(i)];
+    const core::DefectOutcome& b = odd->outcomes[static_cast<size_t>(i)];
+    EXPECT_EQ(a.Classify(), b.Classify()) << a.defect.Id();
+    EXPECT_EQ(a.min_detector_vout, b.min_detector_vout) << a.defect.Id();
+  }
+}
+
 TEST(MonteCarloDeterminism, SweepIsThreadCountInvariant) {
   cml::CmlTechnology nominal;
   cml::VariationModel model;

@@ -1,0 +1,157 @@
+// Cross-engine equivalence: independent numerical paths through the
+// simulator must agree on the same circuit. Covers the two linear solvers
+// (dense LU vs sparse LU) on DC and transient analyses, and the two
+// integration methods (trapezoidal vs backward Euler) on the paper's
+// buffer chain. The digital engines' serial == bit-parallel and
+// serial == threaded guarantees live in determinism_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cml/builder.h"
+#include "defects/defect.h"
+#include "sim/dc.h"
+#include "sim/transient.h"
+#include "waveform/measure.h"
+
+namespace cmldft {
+namespace {
+
+// A 4-buffer CML chain with a differential clock — representative of every
+// bench circuit (exponential BJT devices, differential pairs, caps).
+struct Chain {
+  netlist::Netlist nl;
+  std::vector<cml::DiffPort> outs;
+};
+
+Chain MakeChain(double freq) {
+  Chain c;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(c.nl, tech);
+  cml::DiffPort cur = cells.AddDifferentialClock("va", freq);
+  for (int i = 0; i < 4; ++i) {
+    cur = cells.AddBuffer("x" + std::to_string(i), cur);
+    c.outs.push_back(cur);
+  }
+  return c;
+}
+
+sim::NewtonOptions WithSolver(sim::NewtonOptions::Solver s) {
+  sim::NewtonOptions n;
+  n.solver = s;
+  return n;
+}
+
+TEST(SolverEquivalence, DcDenseMatchesSparse) {
+  Chain c = MakeChain(100e6);
+  sim::DcOptions dense, sparse;
+  dense.newton = WithSolver(sim::NewtonOptions::Solver::kDense);
+  sparse.newton = WithSolver(sim::NewtonOptions::Solver::kSparse);
+  auto rd = sim::SolveDc(c.nl, dense);
+  auto rs = sim::SolveDc(c.nl, sparse);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rd->node_voltages.size(), rs->node_voltages.size());
+  for (size_t i = 0; i < rd->node_voltages.size(); ++i) {
+    // Both Newton loops share the same convergence criteria; the solvers
+    // differ only in pivoting order, so solutions agree to solver noise.
+    EXPECT_NEAR(rd->node_voltages[i], rs->node_voltages[i], 5e-6)
+        << "node " << i;
+  }
+}
+
+TEST(SolverEquivalence, DcDenseMatchesSparseWithDefect) {
+  // A pipe defect adds an off-pattern resistor — a different sparsity
+  // structure than the clean chain.
+  Chain c = MakeChain(100e6);
+  defects::Defect d;
+  d.type = defects::DefectType::kTransistorPipe;
+  d.device = "x1.q3";
+  d.resistance = 2e3;
+  auto faulty = defects::WithDefect(c.nl, d);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  sim::DcOptions dense, sparse;
+  dense.newton = WithSolver(sim::NewtonOptions::Solver::kDense);
+  sparse.newton = WithSolver(sim::NewtonOptions::Solver::kSparse);
+  auto rd = sim::SolveDc(*faulty, dense);
+  auto rs = sim::SolveDc(*faulty, sparse);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  for (size_t i = 0; i < rd->node_voltages.size(); ++i) {
+    EXPECT_NEAR(rd->node_voltages[i], rs->node_voltages[i], 5e-6)
+        << "node " << i;
+  }
+}
+
+TEST(SolverEquivalence, TransientDenseMatchesSparse) {
+  sim::TransientOptions base;
+  base.tstop = 12e-9;
+  auto run = [&](sim::NewtonOptions::Solver s) {
+    Chain c = MakeChain(100e6);
+    sim::TransientOptions opts = base;
+    opts.dc.newton.solver = s;
+    auto r = sim::RunTransient(c.nl, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::make_pair(std::move(*r), c.outs.back());
+  };
+  auto [rd, out_d] = run(sim::NewtonOptions::Solver::kDense);
+  auto [rs, out_s] = run(sim::NewtonOptions::Solver::kSparse);
+  // Step acceptance can differ in the last float bit, so timepoints are
+  // not comparable one-to-one; measured waveform quantities must agree.
+  const auto sd = waveform::MeasureSwing(rd.Voltage(out_d.p_name), 5e-9, 12e-9);
+  const auto ss = waveform::MeasureSwing(rs.Voltage(out_s.p_name), 5e-9, 12e-9);
+  EXPECT_NEAR(sd.vhigh, ss.vhigh, 2e-3);
+  EXPECT_NEAR(sd.vlow, ss.vlow, 2e-3);
+  EXPECT_NEAR(sd.swing, ss.swing, 2e-3);
+  const auto cd = waveform::Crossings(rd.Voltage(out_d.p_name), 3.175,
+                                      waveform::Edge::kRising);
+  const auto cs = waveform::Crossings(rs.Voltage(out_s.p_name), 3.175,
+                                      waveform::Edge::kRising);
+  ASSERT_FALSE(cd.empty());
+  ASSERT_EQ(cd.size(), cs.size());
+  for (size_t i = 0; i < cd.size(); ++i) {
+    EXPECT_NEAR(cd[i], cs[i], 5e-12) << "crossing " << i;
+  }
+}
+
+TEST(IntegrationEquivalence, TrapezoidalMatchesBackwardEuler) {
+  // Backward Euler is first-order (more numerical damping), so it needs a
+  // smaller ceiling to land on the same waveform; the settled levels and
+  // swing must then agree within integration error.
+  auto run = [&](netlist::IntegrationMethod m, double dt_max) {
+    Chain c = MakeChain(100e6);
+    sim::TransientOptions opts;
+    opts.tstop = 12e-9;
+    opts.method = m;
+    opts.dt_max = dt_max;
+    auto r = sim::RunTransient(c.nl, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return waveform::MeasureSwing(r->Voltage(c.outs.back().p_name), 5e-9,
+                                  12e-9);
+  };
+  const auto trap = run(netlist::IntegrationMethod::kTrapezoidal, 2.5e-11);
+  const auto be = run(netlist::IntegrationMethod::kBackwardEuler, 5e-12);
+  EXPECT_NEAR(trap.vhigh, be.vhigh, 10e-3);
+  EXPECT_NEAR(trap.vlow, be.vlow, 10e-3);
+  EXPECT_NEAR(trap.swing, be.swing, 10e-3);
+}
+
+TEST(IntegrationEquivalence, MethodsAgreeOnDcOperatingPoint) {
+  // At t=0 no integration has happened yet: both methods must produce an
+  // identical operating point (it comes from the same DC solve).
+  auto run = [&](netlist::IntegrationMethod m) {
+    Chain c = MakeChain(100e6);
+    sim::TransientOptions opts;
+    opts.tstop = 1e-10;
+    opts.method = m;
+    auto r = sim::RunTransient(c.nl, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->Voltage(c.outs.back().p_name).value.front();
+  };
+  const double vt = run(netlist::IntegrationMethod::kTrapezoidal);
+  const double vb = run(netlist::IntegrationMethod::kBackwardEuler);
+  EXPECT_EQ(vt, vb);
+}
+
+}  // namespace
+}  // namespace cmldft

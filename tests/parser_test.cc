@@ -129,6 +129,37 @@ TEST(Parser, Errors) {
             util::StatusCode::kParseError);
   EXPECT_EQ(ParseSpice(".subckt foo a\nr1 a 0 1\n").status().code(),
             util::StatusCode::kParseError);  // unterminated
+  // Malformed cards: too few tokens for the element's pinout.
+  EXPECT_EQ(ParseSpice("c1 a 0").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("q1 c b").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("e1 p n cp").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("x1 a").status().code(), util::StatusCode::kParseError);
+  // Sources with broken waveform specs.
+  EXPECT_EQ(ParseSpice("v1 a 0 dc").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("v1 a 0 pulse (1)").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("v1 a 0 sin (0 1)").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice("v1 a 0 pwl ()").status().code(),
+            util::StatusCode::kParseError);
+  // Model card problems: missing type, unsupported type, unknown params.
+  EXPECT_EQ(ParseSpice(".model lonely").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice(".model m pmos (vto=-1)").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice(".model m npn (frob=1)\nq1 c b 0 m").status().code(),
+            util::StatusCode::kParseError);
+  EXPECT_EQ(ParseSpice(".model m d (zap=2)\nd1 a 0 m").status().code(),
+            util::StatusCode::kParseError);
+  // Subcircuit instantiation with the wrong pin count.
+  EXPECT_EQ(ParseSpice(".subckt u a b\nr1 a b 1k\n.ends\nxq n1 u")
+                .status()
+                .code(),
+            util::StatusCode::kParseError);
 }
 
 TEST(Writer, RoundTripPreservesTopology) {

@@ -246,6 +246,52 @@ TEST(SparseLuRefactor, BadPivotTriggersFullRepivot) {
   EXPECT_NEAR((*x)[1], 2.0, 1e-12);
 }
 
+TEST(SparseLuRefactor, DimensionChangeMatchesFreshFactorBitExact) {
+  // The fallback path IS a full Factor: its factorization — and every
+  // subsequent solve — must be bit-identical to a fresh object's.
+  SparseBuilder small(3);
+  small.Add(0, 0, 2.0);
+  small.Add(1, 1, 3.0);
+  small.Add(2, 2, 4.0);
+  SparseLu reused;
+  ASSERT_TRUE(reused.Factor(small).ok());
+
+  const size_t n = 48;
+  SparseBuilder big = RandomMnaLike(n, 4242);
+  ASSERT_TRUE(reused.Refactor(big).ok());  // dimension 3 -> 48: fallback
+  SparseLu fresh;
+  ASSERT_TRUE(fresh.Factor(big).ok());
+
+  util::Rng rng(99);
+  Vector rhs(n);
+  for (double& v : rhs) v = rng.NextDouble(-5, 5);
+  auto xr = reused.Solve(rhs);
+  auto xf = fresh.Solve(rhs);
+  ASSERT_TRUE(xr.ok() && xf.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ((*xr)[i], (*xf)[i]) << i;
+}
+
+TEST(SparseLuRefactor, BadPivotFallbackMatchesFreshFactorBitExact) {
+  const size_t n = 32;
+  SparseBuilder a = RandomMnaLike(n, 17);
+  SparseLu reused;
+  ASSERT_TRUE(reused.Factor(a).ok());
+
+  // Degenerate value set on the same pattern: zero out the diagonal the
+  // memorized pivot order leans on, forcing the repivot fallback.
+  SparseBuilder b = RandomMnaLike(n, 17);
+  for (size_t i = 0; i + 1 < n; i += 2) b.Add(i, i, -b.ToDense()(i, i));
+  ASSERT_TRUE(reused.Refactor(b).ok());
+  SparseLu fresh;
+  ASSERT_TRUE(fresh.Factor(b).ok());
+
+  Vector rhs(n, 1.0);
+  auto xr = reused.Solve(rhs);
+  auto xf = fresh.Solve(rhs);
+  ASSERT_TRUE(xr.ok() && xf.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ((*xr)[i], (*xf)[i]) << i;
+}
+
 TEST(SparseEngine, DcMatchesDenseOnCmlChain) {
   // The ultimate equivalence check: the same circuit solved with both
   // linear solvers gives identical node voltages.

@@ -1,0 +1,71 @@
+// Golden-snapshot regression driver for the paper-reproduction benches.
+//
+//   golden_check <actual.json> <golden.json>
+//       Diff a freshly generated bench report against the committed
+//       snapshot, honouring the tolerance class each column/scalar
+//       declares (exact for counts and verdicts, abs/rel for analog
+//       measurements, informational values skipped).
+//
+//   golden_check --gbench <actual.json> <golden.json>
+//       Structural check for google-benchmark output: the benchmark
+//       name list must match; timings are never compared.
+//
+// Exit codes: 0 = within tolerance, 1 = drift (details on stdout),
+// 2 = usage or I/O error. To intentionally refresh a snapshot, rerun the
+// bench with --json pointing at golden/<bench>.json (or use the
+// `regen_golden` build target) and review the diff in git.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "report/golden.h"
+#include "report/json.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--gbench] <actual.json> <golden.json>\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cmldft::report::GoldenDiff;
+  bool gbench = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--gbench") == 0) {
+    gbench = true;
+    ++arg;
+  }
+  if (argc - arg != 2) return Usage(argv[0]);
+  const std::string actual_path = argv[arg];
+  const std::string golden_path = argv[arg + 1];
+
+  auto actual = cmldft::report::ReadJsonFile(actual_path);
+  if (!actual.ok()) {
+    std::fprintf(stderr, "%s\n", actual.status().ToString().c_str());
+    return 2;
+  }
+  auto golden = cmldft::report::ReadJsonFile(golden_path);
+  if (!golden.ok()) {
+    std::fprintf(stderr, "%s\n", golden.status().ToString().c_str());
+    std::fprintf(stderr,
+                 "no golden snapshot — generate one with the bench's "
+                 "--json flag (see docs/test-flow.md)\n");
+    return 2;
+  }
+
+  const GoldenDiff diff =
+      gbench ? cmldft::report::CompareGbenchStructure(*actual, *golden)
+             : cmldft::report::CompareReports(*actual, *golden);
+  std::printf("%s vs %s\n%s", actual_path.c_str(), golden_path.c_str(),
+              diff.Summary().c_str());
+  if (!diff.ok()) {
+    std::printf(
+        "\nIf this change is intentional, regenerate the snapshot "
+        "(docs/test-flow.md#golden-regression) and commit the diff.\n");
+  }
+  return diff.ok() ? 0 : 1;
+}
