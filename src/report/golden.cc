@@ -141,13 +141,15 @@ void CompareTable(const Json& a, const Json& g, GoldenDiff* out) {
   for (size_t r = 0; r < grows->size(); ++r) {
     const Json& grow = grows->at(r);
     const Json& arow = arows->at(r);
-    if (arow.size() != grow.size()) {
+    // Every serialized cell must line up with a declared column (and thus a
+    // tolerance); extra or missing cells on either side are drift.
+    if (arow.size() != tols.size() || grow.size() != tols.size()) {
       out->mismatches.push_back(util::StrPrintf(
-          "table '%s' row %zu: %zu cells vs golden %zu", tname.c_str(), r,
-          arow.size(), grow.size()));
+          "table '%s' row %zu: %zu cells vs golden %zu (%zu columns declared)",
+          tname.c_str(), r, arow.size(), grow.size(), tols.size()));
       continue;
     }
-    for (size_t c = 0; c < grow.size() && c < tols.size(); ++c) {
+    for (size_t c = 0; c < tols.size(); ++c) {
       ++out->values_compared;
       std::string why;
       if (!CellMatches(arow.at(c), grow.at(c), tols[c], &why)) {
@@ -228,15 +230,18 @@ GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden) {
   const auto a = names_of(actual);
   const auto g = names_of(golden);
   diff.values_compared = static_cast<int>(g.size());
-  for (const std::string& name : g) {
-    if (a.count(name) == 0) {
-      diff.mismatches.push_back("benchmark '" + name + "' missing from run");
-    }
-  }
-  for (const std::string& name : a) {
-    if (g.count(name) == 0) {
+  std::set<std::string> unique(g.begin(), g.end());
+  unique.insert(a.begin(), a.end());
+  for (const std::string& name : unique) {
+    const size_t na = a.count(name);
+    const size_t ng = g.count(name);
+    if (na == ng) continue;
+    if (ng == 0) {
       diff.mismatches.push_back("benchmark '" + name +
                                 "' not in golden (regenerate snapshot?)");
+    } else {
+      diff.mismatches.push_back(util::StrPrintf(
+          "benchmark '%s': %zu runs vs golden %zu", name.c_str(), na, ng));
     }
   }
   return diff;

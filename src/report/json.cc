@@ -38,7 +38,7 @@ std::string FormatNumber(double v) {
   if (!std::isfinite(v)) return "null";
   // Integral values print without an exponent or trailing ".0" so counts
   // stay readable in committed snapshots.
-  if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
+  if (std::fabs(v) < 1e15 && v == static_cast<long long>(v)) {
     return util::StrPrintf("%lld", static_cast<long long>(v));
   }
   return util::StrPrintf("%.17g", v);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "cml/builder.h"
 #include "defects/defect.h"
@@ -91,7 +92,12 @@ TEST(SolverEquivalence, TransientDenseMatchesSparse) {
     sim::TransientOptions opts = base;
     opts.dc.newton.solver = s;
     auto r = sim::RunTransient(c.nl, opts);
-    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    // Lambdas returning values can't use ASSERT_*; hard-stop instead of
+    // dereferencing an error StatusOr.
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      std::abort();
+    }
     return std::make_pair(std::move(*r), c.outs.back());
   };
   auto [rd, out_d] = run(sim::NewtonOptions::Solver::kDense);
@@ -125,7 +131,12 @@ TEST(IntegrationEquivalence, TrapezoidalMatchesBackwardEuler) {
     opts.method = m;
     opts.dt_max = dt_max;
     auto r = sim::RunTransient(c.nl, opts);
-    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    // Lambdas returning values can't use ASSERT_*; hard-stop instead of
+    // dereferencing an error StatusOr.
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      std::abort();
+    }
     return waveform::MeasureSwing(r->Voltage(c.outs.back().p_name), 5e-9,
                                   12e-9);
   };
@@ -145,7 +156,12 @@ TEST(IntegrationEquivalence, MethodsAgreeOnDcOperatingPoint) {
     opts.tstop = 1e-10;
     opts.method = m;
     auto r = sim::RunTransient(c.nl, opts);
-    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    // Lambdas returning values can't use ASSERT_*; hard-stop instead of
+    // dereferencing an error StatusOr.
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      std::abort();
+    }
     return r->Voltage(c.outs.back().p_name).value.front();
   };
   const double vt = run(netlist::IntegrationMethod::kTrapezoidal);

@@ -219,6 +219,19 @@ TEST(Golden, RowCountChangeIsDrift) {
   EXPECT_FALSE(CompareReports(a, g).ok());
 }
 
+TEST(Golden, ExtraCellsOnBothSidesIsDrift) {
+  // Cells beyond the declared columns have no tolerance, so they must be
+  // flagged even when golden and actual drift in lockstep.
+  Json a = MakeReport(260.0, "pass", 50.0);
+  Json g = MakeReport(260.0, "pass", 50.0);
+  for (Json* doc : {&a, &g}) {
+    Json& row = const_cast<Json&>(
+        const_cast<Json*>(doc->Find("tables"))->at(0).Find("rows")->at(0));
+    row.Append(Json::Number(999.0));
+  }
+  EXPECT_FALSE(CompareReports(a, g).ok());
+}
+
 Json Gbench(std::initializer_list<const char*> names) {
   Json j = Json::Object();
   Json arr = Json::Array();
@@ -246,6 +259,16 @@ TEST(Golden, GbenchMissingBenchmarkIsDrift) {
   EXPECT_FALSE(
       CompareGbenchStructure(Gbench({"BM_Dc", "BM_New"}), Gbench({"BM_Dc"}))
           .ok());
+}
+
+TEST(Golden, GbenchMultiplicityDriftIsDetected) {
+  // Same name set but different repetition counts must not pass.
+  EXPECT_FALSE(CompareGbenchStructure(Gbench({"BM_Dc"}),
+                                      Gbench({"BM_Dc", "BM_Dc", "BM_Dc"}))
+                   .ok());
+  EXPECT_FALSE(CompareGbenchStructure(Gbench({"BM_Dc", "BM_Dc"}),
+                                      Gbench({"BM_Dc"}))
+                   .ok());
 }
 
 }  // namespace
