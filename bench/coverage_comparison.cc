@@ -89,12 +89,20 @@ int main(int argc, char** argv) {
               counts[core::FaultClass::kDelayVisible]);
   std::printf("  iddq-visible          : %d\n",
               counts[core::FaultClass::kIddqVisible]);
-  std::printf("  catastrophic          : %d (no bias point / non-convergent)\n",
+  std::printf("  catastrophic          : %d (no bias point)\n",
               counts[core::FaultClass::kCatastrophic]);
   std::printf("  AMPLITUDE-ONLY        : %d  <- invisible to conventional tests\n",
               counts[core::FaultClass::kAmplitudeOnly]);
   std::printf("  no-effect             : %d\n",
               counts[core::FaultClass::kNoEffect]);
+  std::printf("  unresolved            : %d (simulation failed; never counted "
+              "as coverage)\n",
+              counts[core::FaultClass::kUnresolved]);
+  for (const auto& o : chip.outcomes) {
+    if (o.Classify() == core::FaultClass::kUnresolved) {
+      std::printf("    %s: %s\n", o.defect.Id().c_str(), o.error.c_str());
+    }
+  }
   rep.AddInt("defects_total", report->total());
   rep.AddInt("chip_logic_visible", counts[core::FaultClass::kLogicVisible]);
   rep.AddInt("chip_delay_visible", counts[core::FaultClass::kDelayVisible]);
@@ -102,6 +110,7 @@ int main(int argc, char** argv) {
   rep.AddInt("chip_catastrophic", counts[core::FaultClass::kCatastrophic]);
   rep.AddInt("chip_amplitude_only", counts[core::FaultClass::kAmplitudeOnly]);
   rep.AddInt("chip_no_effect", counts[core::FaultClass::kNoEffect]);
+  rep.AddInt("chip_unresolved", counts[core::FaultClass::kUnresolved]);
 
   std::printf("\nblock-scale Iddq (3 gates, 25%% resolution):\n");
   std::printf("  coverage, conventional (stuck-at+delay+Iddq+gross): %.1f%%\n",

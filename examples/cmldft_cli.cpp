@@ -7,6 +7,10 @@
 //
 // Prints tables/CSV to stdout; ASCII plots for tran/ac when nodes are
 // given. Exit code 0 on success (and "pass" for detect), 1 otherwise.
+// The global flag --stats appends a solver-telemetry digest (Newton
+// iterations, homotopy stages, step rejections, LU counts) after any
+// command — see docs/observability.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +24,7 @@
 #include "sim/transient.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 #include "waveform/measure.h"
 #include "waveform/plot.h"
 
@@ -33,7 +38,8 @@ int Usage() {
                "  cmldft_cli op     <netlist.cir>\n"
                "  cmldft_cli tran   <netlist.cir> <tstop> [node ...]\n"
                "  cmldft_cli ac     <netlist.cir> <source> <fstart> <fstop> [node ...]\n"
-               "  cmldft_cli detect <netlist.cir> <tstop> <vout_node>\n");
+               "  cmldft_cli detect <netlist.cir> <tstop> <vout_node>\n"
+               "any command also accepts --stats (print solver telemetry)\n");
   return 1;
 }
 
@@ -149,36 +155,51 @@ int RunDetect(const netlist::Netlist& nl, double tstop, const std::string& node)
   return fired ? 2 : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int Dispatch(const std::vector<std::string>& args) {
+  const int argc = static_cast<int>(args.size());
   if (argc < 3) return Usage();
-  auto nl = Load(argv[2]);
+  auto nl = Load(args[2].c_str());
   if (!nl.ok()) {
     std::fprintf(stderr, "%s\n", nl.status().ToString().c_str());
     return 1;
   }
-  const std::string cmd = argv[1];
+  const std::string& cmd = args[1];
   if (cmd == "op") {
     return RunOp(*nl);
   }
   if (cmd == "tran" && argc >= 4) {
-    auto tstop = util::ParseSpiceNumber(argv[3]);
+    auto tstop = util::ParseSpiceNumber(args[3]);
     if (!tstop.ok()) return Usage();
-    std::vector<std::string> nodes(argv + 4, argv + argc);
+    std::vector<std::string> nodes(args.begin() + 4, args.end());
     return RunTran(*nl, *tstop, nodes);
   }
   if (cmd == "ac" && argc >= 6) {
-    auto f0 = util::ParseSpiceNumber(argv[4]);
-    auto f1 = util::ParseSpiceNumber(argv[5]);
+    auto f0 = util::ParseSpiceNumber(args[4]);
+    auto f1 = util::ParseSpiceNumber(args[5]);
     if (!f0.ok() || !f1.ok()) return Usage();
-    std::vector<std::string> nodes(argv + 6, argv + argc);
-    return RunAcCli(*nl, argv[3], *f0, *f1, nodes);
+    std::vector<std::string> nodes(args.begin() + 6, args.end());
+    return RunAcCli(*nl, args[3], *f0, *f1, nodes);
   }
   if (cmd == "detect" && argc == 5) {
-    auto tstop = util::ParseSpiceNumber(argv[3]);
+    auto tstop = util::ParseSpiceNumber(args[3]);
     if (!tstop.ok()) return Usage();
-    return RunDetect(*nl, *tstop, argv[4]);
+    return RunDetect(*nl, *tstop, args[4]);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  const auto stats_it = std::find(args.begin(), args.end(), "--stats");
+  const bool stats = stats_it != args.end();
+  if (stats) args.erase(stats_it);
+  const int rc = Dispatch(args);
+  if (stats) {
+    std::printf("\n%s", cmldft::util::telemetry::DigestToText(
+                            cmldft::util::telemetry::Capture())
+                            .c_str());
+  }
+  return rc;
 }

@@ -1,13 +1,16 @@
 #include "core/screening.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "cml/builder.h"
+#include "sim/dc.h"
 #include "sim/transient.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/strings.h"
+#include "util/telemetry.h"
 #include "waveform/measure.h"
 
 namespace cmldft::core {
@@ -95,6 +98,44 @@ Measured MeasureRun(const sim::TransientResult& tr, const Instrumented& circ,
   return m;
 }
 
+/// "no-effect" -> "no_effect" etc. — metric segments use underscores.
+std::string ClassMetricSlug(FaultClass c) {
+  std::string slug(FaultClassName(c));
+  std::replace(slug.begin(), slug.end(), '-', '_');
+  return slug;
+}
+
+struct ScreeningMetrics {
+  util::telemetry::Counter campaigns =
+      util::telemetry::GetCounter("core.screening.campaigns");
+  util::telemetry::Counter defects_screened =
+      util::telemetry::GetCounter("core.screening.defects_screened");
+  util::telemetry::Counter unresolved =
+      util::telemetry::GetCounter("core.screening.unresolved");
+  util::telemetry::Timer wall = util::telemetry::GetTimer("core.screening.wall");
+  util::telemetry::Timer reference_wall =
+      util::telemetry::GetTimer("core.screening.reference_wall");
+  /// Indexed by FaultClass: outcome tallies and per-class wall time.
+  std::vector<util::telemetry::Counter> class_counts;
+  std::vector<util::telemetry::Timer> class_wall;
+  ScreeningMetrics() {
+    for (int c = 0; c < kNumFaultClasses; ++c) {
+      const std::string slug = ClassMetricSlug(static_cast<FaultClass>(c));
+      class_counts.push_back(
+          util::telemetry::GetCounter("core.screening.class." + slug));
+      class_wall.push_back(
+          util::telemetry::GetTimer("core.screening.class_wall." + slug));
+    }
+  }
+};
+
+const ScreeningMetrics& Metrics() {
+  static const ScreeningMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const ScreeningMetrics& kEagerRegistration = Metrics();
+
 }  // namespace
 
 std::string_view FaultClassName(FaultClass c) {
@@ -105,12 +146,15 @@ std::string_view FaultClassName(FaultClass c) {
     case FaultClass::kIddqVisible: return "iddq";
     case FaultClass::kAmplitudeOnly: return "amplitude-only";
     case FaultClass::kCatastrophic: return "catastrophic";
+    case FaultClass::kUnresolved: return "unresolved";
   }
   return "?";
 }
 
 FaultClass DefectOutcome::Classify() const {
-  if (!converged) return FaultClass::kCatastrophic;
+  if (!converged) {
+    return no_bias_point ? FaultClass::kCatastrophic : FaultClass::kUnresolved;
+  }
   if (logic_fail) return FaultClass::kLogicVisible;
   if (delay_fail) return FaultClass::kDelayVisible;
   if (iddq_fail) return FaultClass::kIddqVisible;
@@ -142,6 +186,9 @@ double ScreeningReport::CombinedCoverage() const {
 
 util::StatusOr<ScreeningReport> ScreenBufferChain(
     const ScreeningOptions& options) {
+  const ScreeningMetrics& metrics = Metrics();
+  metrics.campaigns.Increment();
+  util::telemetry::ScopedTimer campaign_span(metrics.wall);
   CmlTechnology tech;
   Instrumented circ = BuildInstrumentedChain(options);
   CMLDFT_RETURN_IF_ERROR(SetTestMode(circ.nl, /*test_mode=*/true,
@@ -153,7 +200,10 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
   const double t0 = options.sim_time * 0.5;
   const double t1 = options.sim_time;
 
-  auto ref_run = sim::RunTransient(circ.nl, topts);
+  util::StatusOr<sim::TransientResult> ref_run = [&] {
+    util::telemetry::ScopedTimer ref_span(metrics.reference_wall);
+    return sim::RunTransient(circ.nl, topts);
+  }();
   if (!ref_run.ok()) {
     return util::Status::Internal("fault-free reference failed to simulate: " +
                                   ref_run.status().message());
@@ -183,6 +233,7 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
   report.outcomes = util::ParallelMap<DefectOutcome>(
       universe.size(),
       [&](size_t d) {
+        const auto start = std::chrono::steady_clock::now();
         const defects::Defect& defect = universe[d];
         DefectOutcome outcome;
         outcome.defect = defect;
@@ -191,10 +242,28 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
           inject_errors[d] = faulty.status();
           return outcome;
         }
+        auto tally = [&](DefectOutcome out) {
+          const auto c = static_cast<size_t>(out.Classify());
+          metrics.defects_screened.Increment();
+          metrics.class_counts[c].Increment();
+          metrics.class_wall[c].RecordSeconds(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count());
+          return out;
+        };
         auto run = sim::RunTransient(*faulty, topts);
         if (!run.ok()) {
+          // Never drop a failed defect run on the floor: keep the solver
+          // error, and probe the DC operating point to split "the defect
+          // destroyed the bias" (catastrophic, a real detection) from "the
+          // transient stalled" (unresolved, a simulator artifact that must
+          // not be credited as coverage).
           outcome.converged = false;
-          return outcome;
+          outcome.error = run.status().ToString();
+          outcome.no_bias_point = !sim::SolveDc(*faulty, topts.dc).ok();
+          if (!outcome.no_bias_point) metrics.unresolved.Increment();
+          return tally(std::move(outcome));
         }
         outcome.converged = true;
         const Measured m = MeasureRun(*run, circ, tech, t0, t1);
@@ -214,7 +283,7 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
         outcome.max_gate_amplitude = m.max_gate_amplitude;
         outcome.min_detector_vout = m.min_detector_vout;
         outcome.detector_vouts = m.detector_vouts;
-        return outcome;
+        return tally(std::move(outcome));
       },
       options.threads);
   for (const util::Status& st : inject_errors) {

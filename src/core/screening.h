@@ -22,8 +22,15 @@ enum class FaultClass {
   kDelayVisible,    ///< logic OK but primary-output delay shifted
   kIddqVisible,     ///< supply current shifted (conventional Iddq test)
   kAmplitudeOnly,   ///< ONLY the built-in detectors flag it (the paper's class)
-  kCatastrophic,    ///< circuit no longer simulates/biases (supply short etc.)
+  kCatastrophic,    ///< circuit has no DC bias point (supply short etc.)
+  /// The transient failed but a bias point exists: a simulator artifact,
+  /// not a physically-detected defect. Never credited as coverage and
+  /// never silently dropped — the outcome carries the solver error.
+  kUnresolved,
 };
+
+inline constexpr int kNumFaultClasses =
+    static_cast<int>(FaultClass::kUnresolved) + 1;
 
 std::string_view FaultClassName(FaultClass c);
 
@@ -58,6 +65,12 @@ struct ScreeningOptions {
 struct DefectOutcome {
   defects::Defect defect;
   bool converged = false;
+  /// Set when `converged` is false and the faulty netlist has no DC
+  /// operating point either — the defect killed the bias, which *is* the
+  /// paper's catastrophic class rather than a solver artifact.
+  bool no_bias_point = false;
+  /// Solver error message when the defect run failed (empty on success).
+  std::string error;
   bool logic_fail = false;
   bool delay_fail = false;
   bool iddq_fail = false;
@@ -85,6 +98,7 @@ struct ScreeningReport {
   int CountClass(FaultClass c) const;
   int total() const { return static_cast<int>(outcomes.size()); }
   /// Coverage of conventional (stuck-at + delay) testing alone.
+  /// Catastrophic defects count as detected; unresolved ones never do.
   double ConventionalCoverage() const;
   /// Coverage with amplitude detectors added.
   double CombinedCoverage() const;

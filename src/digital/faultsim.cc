@@ -7,8 +7,30 @@
 #include "digital/patterns.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace cmldft::digital {
+
+namespace {
+struct FaultSimMetrics {
+  util::telemetry::Counter runs =
+      util::telemetry::GetCounter("digital.faultsim.runs");
+  util::telemetry::Counter faults_simulated =
+      util::telemetry::GetCounter("digital.faultsim.faults_simulated");
+  util::telemetry::Counter faults_detected =
+      util::telemetry::GetCounter("digital.faultsim.faults_detected");
+  util::telemetry::Counter packed_batches =
+      util::telemetry::GetCounter("digital.faultsim.packed_batches");
+  util::telemetry::Timer wall =
+      util::telemetry::GetTimer("digital.faultsim.wall");
+};
+const FaultSimMetrics& FsMetrics() {
+  static const FaultSimMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const FaultSimMetrics& kEagerRegistration = FsMetrics();
+}  // namespace
 
 std::vector<StuckAtFault> EnumerateStuckAtFaults(const GateNetlist& netlist) {
   std::vector<StuckAtFault> out;
@@ -213,8 +235,14 @@ FaultSimResult RunStuckAtFaultSim(
     const GateNetlist& netlist, const std::vector<StuckAtFault>& faults,
     const std::vector<std::vector<Logic>>& patterns,
     const FaultSimOptions& options) {
+  const FaultSimMetrics& metrics = FsMetrics();
+  metrics.runs.Increment();
+  metrics.faults_simulated.Add(faults.size());
+  util::telemetry::ScopedTimer span(metrics.wall);
   if (!options.bit_parallel) {
-    return RunStuckAtFaultSimSerial(netlist, faults, patterns);
+    FaultSimResult serial = RunStuckAtFaultSimSerial(netlist, faults, patterns);
+    metrics.faults_detected.Add(static_cast<uint64_t>(serial.detected));
+    return serial;
   }
   FaultSimResult result;
   result.total_faults = static_cast<int>(faults.size());
@@ -234,6 +262,7 @@ FaultSimResult RunStuckAtFaultSim(
   // Batches are independent packed simulations writing disjoint slices of
   // detected_at — parallelize across them.
   const size_t num_batches = (faults.size() + 63) / 64;
+  metrics.packed_batches.Add(num_batches);
   util::ParallelFor(
       num_batches,
       [&](size_t b) {
@@ -247,6 +276,7 @@ FaultSimResult RunStuckAtFaultSim(
   for (int at : result.detected_at) {
     if (at != 0) ++result.detected;
   }
+  metrics.faults_detected.Add(static_cast<uint64_t>(result.detected));
   return result;
 }
 

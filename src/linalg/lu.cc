@@ -3,11 +3,23 @@
 #include <cmath>
 
 #include "util/strings.h"
+#include "util/telemetry.h"
 
 namespace cmldft::linalg {
 
+namespace {
+const util::telemetry::Counter& DenseFactorCounter() {
+  static const util::telemetry::Counter c =
+      util::telemetry::GetCounter("linalg.dense_lu.factors");
+  return c;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const util::telemetry::Counter& kEagerRegistration = DenseFactorCounter();
+}  // namespace
+
 template <typename T>
 util::Status LuFactorizationT<T>::Factor(const MatrixT<T>& a) {
+  DenseFactorCounter().Increment();
   factored_ = false;
   if (a.rows() != a.cols()) {
     return util::Status::InvalidArgument("LU requires a square matrix");

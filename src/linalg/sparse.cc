@@ -5,8 +5,27 @@
 #include <unordered_set>
 
 #include "util/strings.h"
+#include "util/telemetry.h"
 
 namespace cmldft::linalg {
+
+namespace {
+struct SparseLuMetrics {
+  util::telemetry::Counter factors =
+      util::telemetry::GetCounter("linalg.sparse_lu.factors");
+  util::telemetry::Counter refactors =
+      util::telemetry::GetCounter("linalg.sparse_lu.refactors");
+  util::telemetry::Counter refactor_fallbacks =
+      util::telemetry::GetCounter("linalg.sparse_lu.refactor_fallbacks");
+};
+const SparseLuMetrics& Metrics() {
+  static const SparseLuMetrics m;
+  return m;
+}
+// Register at load time so snapshots list these metrics even when no
+// sparse solve ran — the telemetry schema must not depend on code paths.
+[[maybe_unused]] const SparseLuMetrics& kEagerRegistration = Metrics();
+}  // namespace
 
 SparseBuilder::SparseBuilder(size_t n) : n_(n), rows_(n) {}
 
@@ -41,6 +60,7 @@ Matrix SparseBuilder::ToDense() const {
 }
 
 util::Status SparseLu::Factor(const SparseBuilder& builder) {
+  Metrics().factors.Increment();
   factored_ = false;
   n_ = builder.dimension();
   lower_.assign(n_, {});
@@ -174,7 +194,10 @@ util::Status SparseLu::Refactor(const SparseBuilder& builder) {
     const size_t r = row_of_step_[k];
     const size_t c = col_of_step_[k];
     auto pit = work[r].find(c);
-    if (pit == work[r].end()) return Factor(builder);
+    if (pit == work[r].end()) {
+      Metrics().refactor_fallbacks.Increment();
+      return Factor(builder);
+    }
     const double pivot = pit->second;
     // Stability guard: the stored pivot choice must still be acceptable.
     // Tiny relative to its own row means the old order now amplifies
@@ -183,6 +206,7 @@ util::Status SparseLu::Refactor(const SparseBuilder& builder) {
     for (const auto& [cc, vv] : work[r]) row_max = std::max(row_max, std::fabs(vv));
     if (std::fabs(pivot) <= floor_mag ||
         std::fabs(pivot) < 1e-6 * row_max) {
+      Metrics().refactor_fallbacks.Increment();
       return Factor(builder);
     }
     pivots_[k] = pivot;
@@ -222,6 +246,7 @@ util::Status SparseLu::Refactor(const SparseBuilder& builder) {
     row_active[r] = 0;
   }
   factored_ = true;
+  Metrics().refactors.Increment();
   return util::Status::Ok();
 }
 

@@ -247,4 +247,62 @@ GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden) {
   return diff;
 }
 
+GoldenDiff CompareTelemetrySchema(const Json& actual, const Json& golden) {
+  GoldenDiff diff;
+  const std::string gschema = golden.GetString("schema");
+  const std::string aschema = actual.GetString("schema");
+  if (gschema != aschema) {
+    diff.mismatches.push_back("schema '" + aschema + "' vs golden '" + gschema +
+                              "' — comparing the wrong snapshot?");
+    return diff;
+  }
+  static const Json kEmpty = Json::Array();
+  const Json* gm = golden.Find("metrics");
+  const Json* am = actual.Find("metrics");
+  if (gm == nullptr) gm = &kEmpty;
+  if (am == nullptr) am = &kEmpty;
+  for (size_t i = 0; i < gm->size(); ++i) {
+    const Json& g = gm->at(i);
+    const std::string name = g.GetString("name");
+    const Json* a = FindByName(*am, name);
+    if (a == nullptr) {
+      diff.mismatches.push_back("metric '" + name + "' missing from run");
+      continue;
+    }
+    ++diff.values_compared;
+    const std::string gkind = g.GetString("kind");
+    const std::string akind = a->GetString("kind");
+    if (akind != gkind) {
+      diff.mismatches.push_back("metric '" + name + "': kind '" + akind +
+                                "' vs golden '" + gkind + "'");
+      continue;
+    }
+    if (gkind != "histogram") continue;
+    const Json* gb = g.Find("bounds");
+    const Json* ab = a->Find("bounds");
+    const size_t gn = gb != nullptr ? gb->size() : 0;
+    const size_t an = ab != nullptr ? ab->size() : 0;
+    if (gn != an) {
+      diff.mismatches.push_back(util::StrPrintf(
+          "histogram '%s': %zu bounds vs golden %zu", name.c_str(), an, gn));
+      continue;
+    }
+    for (size_t b = 0; b < gn; ++b) {
+      if (ab->at(b).AsNumber() != gb->at(b).AsNumber()) {
+        diff.mismatches.push_back(util::StrPrintf(
+            "histogram '%s' bound %zu: %.9g vs golden %.9g", name.c_str(), b,
+            ab->at(b).AsNumber(), gb->at(b).AsNumber()));
+      }
+    }
+  }
+  for (size_t i = 0; i < am->size(); ++i) {
+    const std::string name = am->at(i).GetString("name");
+    if (FindByName(*gm, name) == nullptr) {
+      diff.mismatches.push_back("metric '" + name +
+                                "' not in golden (regenerate snapshot?)");
+    }
+  }
+  return diff;
+}
+
 }  // namespace cmldft::report

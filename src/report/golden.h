@@ -30,4 +30,11 @@ GoldenDiff CompareReports(const Json& actual, const Json& golden);
 /// list exactly. Timings are machine-dependent and never compared.
 GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden);
 
+/// Structural comparison for "cmldft-telemetry-v1" snapshots: the metric
+/// name set, each metric's kind, and each histogram's bucket bounds must
+/// match the golden exactly. Values (counts, seconds, buckets) are run-
+/// dependent and never compared — this pins the *instrumentation schema*,
+/// catching renamed, dropped, or re-typed metrics.
+GoldenDiff CompareTelemetrySchema(const Json& actual, const Json& golden);
+
 }  // namespace cmldft::report

@@ -106,6 +106,14 @@ class Parser {
     if (ConsumeWord("true")) return Json::Bool(true);
     if (ConsumeWord("false")) return Json::Bool(false);
     if (ConsumeWord("null")) return Json::Null();
+    // Non-standard tokens google-benchmark emits for non-finite rates
+    // (e.g. items_per_second when cpu_time rounds to zero under load).
+    // Dump() serializes non-finite numbers as null, so these round-trip
+    // to null — exactly how the golden comparators treat them.
+    if (ConsumeWord("Infinity") || ConsumeWord("-Infinity") ||
+        ConsumeWord("NaN")) {
+      return Json::Null();
+    }
     return ParseNumber();
   }
 

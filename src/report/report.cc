@@ -1,5 +1,7 @@
 #include "report/report.h"
 
+#include "report/telemetry_json.h"
+
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
@@ -206,9 +208,11 @@ BenchIo::BenchIo(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path_ = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path_ = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>]\n"
+                   "usage: %s [--json <path>] [--telemetry <path>]\n"
                    "unrecognized argument: %s\n",
                    argc > 0 ? argv[0] : "bench", arg.c_str());
       std::exit(2);
@@ -235,6 +239,15 @@ int BenchIo::Finish(int exit_code) {
     util::Status st = WriteJsonFile(json_path_, report_->ToJson());
     if (!st.ok()) {
       std::fprintf(stderr, "writing %s failed: %s\n", json_path_.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!telemetry_path_.empty()) {
+    util::Status st = WriteTelemetrySnapshotFile(telemetry_path_,
+                                                 util::telemetry::Capture());
+    if (!st.ok()) {
+      std::fprintf(stderr, "writing %s failed: %s\n", telemetry_path_.c_str(),
                    st.ToString().c_str());
       return 1;
     }

@@ -128,7 +128,9 @@ class Report {
 };
 
 /// Command-line front end shared by every bench binary. Recognizes
-///   --json <path>   write the structured report there on Finish()
+///   --json <path>       write the structured report there on Finish()
+///   --telemetry <path>  write a "cmldft-telemetry-v1" snapshot of the
+///                       process-wide solver/campaign counters on Finish()
 /// and prints the uniform header banner on Begin(). Unknown arguments
 /// are a usage error (exit 2) so typos can't silently skip the snapshot.
 class BenchIo {
@@ -147,6 +149,7 @@ class BenchIo {
 
  private:
   std::string json_path_;
+  std::string telemetry_path_;
   std::unique_ptr<Report> report_;
 };
 

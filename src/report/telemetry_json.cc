@@ -1,0 +1,119 @@
+#include "report/telemetry_json.h"
+
+namespace cmldft::report {
+
+namespace {
+using util::telemetry::Kind;
+using util::telemetry::MetricValue;
+using util::telemetry::Snapshot;
+
+util::StatusOr<Kind> KindFromName(const std::string& name) {
+  if (name == "counter") return Kind::kCounter;
+  if (name == "timer") return Kind::kTimer;
+  if (name == "histogram") return Kind::kHistogram;
+  return util::Status::ParseError("unknown telemetry metric kind '" + name +
+                                  "'");
+}
+}  // namespace
+
+Json TelemetrySnapshotToJson(const Snapshot& snapshot) {
+  Json j = Json::Object();
+  j.Set("schema", Json::Str("cmldft-telemetry-v1"));
+  Json metrics = Json::Array();
+  for (const MetricValue& m : snapshot.metrics) {
+    Json mj = Json::Object();
+    mj.Set("name", Json::Str(m.name));
+    mj.Set("kind", Json::Str(std::string(util::telemetry::KindName(m.kind))));
+    switch (m.kind) {
+      case Kind::kCounter:
+        mj.Set("value", Json::Int(static_cast<long long>(m.count)));
+        break;
+      case Kind::kTimer:
+        mj.Set("count", Json::Int(static_cast<long long>(m.count)));
+        mj.Set("total_seconds", Json::Number(m.total_seconds));
+        break;
+      case Kind::kHistogram: {
+        mj.Set("count", Json::Int(static_cast<long long>(m.count)));
+        Json bounds = Json::Array();
+        for (double b : m.bounds) bounds.Append(Json::Number(b));
+        mj.Set("bounds", std::move(bounds));
+        Json buckets = Json::Array();
+        for (uint64_t b : m.buckets) {
+          buckets.Append(Json::Int(static_cast<long long>(b)));
+        }
+        mj.Set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    metrics.Append(std::move(mj));
+  }
+  j.Set("metrics", std::move(metrics));
+  return j;
+}
+
+util::StatusOr<Snapshot> TelemetrySnapshotFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return util::Status::ParseError("telemetry snapshot is not an object");
+  }
+  if (json.GetString("schema") != "cmldft-telemetry-v1") {
+    return util::Status::ParseError(
+        "not a cmldft-telemetry-v1 snapshot (schema = '" +
+        json.GetString("schema") + "')");
+  }
+  const Json* metrics = json.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return util::Status::ParseError("telemetry snapshot has no metrics array");
+  }
+  Snapshot snap;
+  snap.metrics.reserve(metrics->size());
+  for (size_t i = 0; i < metrics->size(); ++i) {
+    const Json& mj = metrics->at(i);
+    if (!mj.is_object()) {
+      return util::Status::ParseError("telemetry metric entry is not an object");
+    }
+    MetricValue m;
+    m.name = mj.GetString("name");
+    if (m.name.empty()) {
+      return util::Status::ParseError("telemetry metric with empty name");
+    }
+    auto kind = KindFromName(mj.GetString("kind", "counter"));
+    if (!kind.ok()) return kind.status();
+    m.kind = *kind;
+    switch (m.kind) {
+      case Kind::kCounter:
+        m.count = static_cast<uint64_t>(mj.GetNumber("value"));
+        break;
+      case Kind::kTimer:
+        m.count = static_cast<uint64_t>(mj.GetNumber("count"));
+        m.total_seconds = mj.GetNumber("total_seconds");
+        break;
+      case Kind::kHistogram: {
+        m.count = static_cast<uint64_t>(mj.GetNumber("count"));
+        const Json* bounds = mj.Find("bounds");
+        const Json* buckets = mj.Find("buckets");
+        if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+            !buckets->is_array() || buckets->size() != bounds->size() + 1) {
+          return util::Status::ParseError(
+              "histogram '" + m.name +
+              "' needs bounds plus bounds+1 buckets");
+        }
+        for (size_t b = 0; b < bounds->size(); ++b) {
+          m.bounds.push_back(bounds->at(b).AsNumber());
+        }
+        for (size_t b = 0; b < buckets->size(); ++b) {
+          m.buckets.push_back(static_cast<uint64_t>(buckets->at(b).AsNumber()));
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+util::Status WriteTelemetrySnapshotFile(const std::string& path,
+                                        const Snapshot& snapshot) {
+  return WriteJsonFile(path, TelemetrySnapshotToJson(snapshot));
+}
+
+}  // namespace cmldft::report

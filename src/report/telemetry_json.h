@@ -1,0 +1,38 @@
+// JSON (de)serialization for telemetry snapshots, using the same report::Json
+// writer as the bench reports so snapshots diff cleanly and round-trip
+// exactly. Lives in the report library because util (where the registry
+// lives) must not depend on report.
+//
+// Schema ("cmldft-telemetry-v1"):
+//   {
+//     "schema": "cmldft-telemetry-v1",
+//     "metrics": [
+//       {"name": "sim.newton.iterations", "kind": "counter", "value": 123},
+//       {"name": "sim.tran.wall", "kind": "timer", "count": 4,
+//        "total_seconds": 0.021},
+//       {"name": "sim.tran.step_size", "kind": "histogram", "count": 512,
+//        "bounds": [...], "buckets": [...]}
+//     ]
+//   }
+#pragma once
+
+#include <string>
+
+#include "report/json.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace cmldft::report {
+
+/// Serialize a snapshot (metrics stay in the snapshot's sorted order).
+Json TelemetrySnapshotToJson(const util::telemetry::Snapshot& snapshot);
+
+/// Parse a "cmldft-telemetry-v1" document back into a snapshot.
+util::StatusOr<util::telemetry::Snapshot> TelemetrySnapshotFromJson(
+    const Json& json);
+
+/// Capture-independent file helper: write `snapshot` to `path`.
+util::Status WriteTelemetrySnapshotFile(const std::string& path,
+                                        const util::telemetry::Snapshot& snapshot);
+
+}  // namespace cmldft::report

@@ -9,12 +9,39 @@
 #include "sim/newton.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/telemetry.h"
 
 namespace cmldft::sim {
 
 namespace internal {
 
 namespace {
+// Stage counters mirror HomotopyResult::stages exactly: gmin_stages counts
+// every ladder rung plus the ladder's final-polish solve, source_steps every
+// source-ramp solve — so gmin_stages + source_steps sums DcResult::
+// homotopy_stages over all successful solves (tested in telemetry_test.cc).
+struct DcMetrics {
+  util::telemetry::Counter solves = util::telemetry::GetCounter("sim.dc.solves");
+  util::telemetry::Counter plain_newton_successes =
+      util::telemetry::GetCounter("sim.dc.plain_newton_successes");
+  util::telemetry::Counter gmin_stages =
+      util::telemetry::GetCounter("sim.dc.gmin_stages");
+  util::telemetry::Counter gmin_ladder_successes =
+      util::telemetry::GetCounter("sim.dc.gmin_ladder_successes");
+  util::telemetry::Counter source_steps =
+      util::telemetry::GetCounter("sim.dc.source_steps");
+  util::telemetry::Counter source_stepping_successes =
+      util::telemetry::GetCounter("sim.dc.source_stepping_successes");
+  util::telemetry::Counter failures =
+      util::telemetry::GetCounter("sim.dc.failures");
+  util::telemetry::Timer wall = util::telemetry::GetTimer("sim.dc.wall");
+};
+const DcMetrics& Metrics() {
+  static const DcMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const DcMetrics& kEagerRegistration = Metrics();
 util::StatusOr<NewtonResult> TryNewton(MnaSystem& mna, double gmin,
                                        double source_scale,
                                        const linalg::Vector& guess,
@@ -30,9 +57,16 @@ util::StatusOr<NewtonResult> TryNewton(MnaSystem& mna, double gmin,
 util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
                                                const DcOptions& options,
                                                const linalg::Vector& guess) {
+  const DcMetrics& metrics = Metrics();
+  metrics.solves.Increment();
+  util::telemetry::ScopedTimer span(metrics.wall);
+
   // Stage 0: plain Newton.
   auto plain = TryNewton(mna, options.newton.gmin, 1.0, guess, options.newton);
-  if (plain.ok()) return HomotopyResult{std::move(plain).value(), 0};
+  if (plain.ok()) {
+    metrics.plain_newton_successes.Increment();
+    return HomotopyResult{std::move(plain).value(), 0};
+  }
   CMLDFT_LOG(kDebug) << "DC plain newton failed: " << plain.status().ToString();
 
   // Stage 1: gmin stepping — converge with a large junction shunt, then
@@ -45,6 +79,7 @@ util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
          g /= options.gmin_reduction) {
       auto r = TryNewton(mna, g, 1.0, x, options.newton);
       ++stages;
+      metrics.gmin_stages.Increment();
       if (!r.ok()) {
         ladder_ok = false;
         break;
@@ -55,7 +90,11 @@ util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
       auto final_r =
           TryNewton(mna, options.newton.gmin, 1.0, x, options.newton);
       ++stages;
-      if (final_r.ok()) return HomotopyResult{std::move(final_r).value(), stages};
+      metrics.gmin_stages.Increment();
+      if (final_r.ok()) {
+        metrics.gmin_ladder_successes.Increment();
+        return HomotopyResult{std::move(final_r).value(), stages};
+      }
     }
   }
 
@@ -66,7 +105,9 @@ util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
         static_cast<double>(step) / static_cast<double>(options.source_steps);
     auto r = TryNewton(mna, options.newton.gmin, alpha, x, options.newton);
     ++stages;
+    metrics.source_steps.Increment();
     if (!r.ok()) {
+      metrics.failures.Increment();
       return util::Status::NoConvergence(util::StrPrintf(
           "DC failed: plain newton, gmin ladder and source stepping "
           "(stalled at alpha=%.2f): %s",
@@ -75,7 +116,11 @@ util::StatusOr<HomotopyResult> SolveDcHomotopy(MnaSystem& mna,
     x = std::move(r).value().solution;
   }
   auto final_r = TryNewton(mna, options.newton.gmin, 1.0, x, options.newton);
-  if (!final_r.ok()) return final_r.status();
+  if (!final_r.ok()) {
+    metrics.failures.Increment();
+    return final_r.status();
+  }
+  metrics.source_stepping_successes.Increment();
   return HomotopyResult{std::move(final_r).value(), stages};
 }
 

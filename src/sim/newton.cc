@@ -7,8 +7,32 @@
 #include "linalg/sparse.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/telemetry.h"
 
 namespace cmldft::sim {
+
+namespace {
+// Registered eagerly on first solve so every metric appears in snapshots
+// even when its branch never fires (stable schema for golden checks).
+struct NewtonMetrics {
+  util::telemetry::Counter solves =
+      util::telemetry::GetCounter("sim.newton.solves");
+  util::telemetry::Counter iterations =
+      util::telemetry::GetCounter("sim.newton.iterations");
+  util::telemetry::Counter damped_iterations =
+      util::telemetry::GetCounter("sim.newton.damped_iterations");
+  util::telemetry::Counter convergence_failures =
+      util::telemetry::GetCounter("sim.newton.convergence_failures");
+  util::telemetry::Counter singular_failures =
+      util::telemetry::GetCounter("sim.newton.singular_failures");
+};
+const NewtonMetrics& Metrics() {
+  static const NewtonMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const NewtonMetrics& kEagerRegistration = Metrics();
+}  // namespace
 
 util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
                                          const linalg::Vector& initial_guess,
@@ -17,6 +41,8 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
   if (static_cast<int>(initial_guess.size()) != n) {
     return util::Status::InvalidArgument("initial guess dimension mismatch");
   }
+  const NewtonMetrics& metrics = Metrics();
+  metrics.solves.Increment();
   linalg::Vector x = initial_guess;
   const bool use_sparse =
       opts.solver == NewtonOptions::Solver::kSparse ||
@@ -30,11 +56,13 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
   const int n_nodes = mna.num_node_unknowns();
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    metrics.iterations.Increment();
     mna.set_first_iteration(iter == 0);
     mna.Assemble(x);
     util::Status st = use_sparse ? sparse_lu.Refactor(mna.sparse_jacobian())
                                  : lu.Factor(mna.jacobian());
     if (!st.ok()) {
+      metrics.singular_failures.Increment();
       return util::Status::SingularMatrix(util::StrPrintf(
           "newton iter %d: %s", iter, st.message().c_str()));
     }
@@ -50,7 +78,10 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
       max_v_step = std::max(max_v_step, std::fabs(dv));
     }
     double damp = 1.0;
-    if (max_v_step > opts.max_delta_v) damp = opts.max_delta_v / max_v_step;
+    if (max_v_step > opts.max_delta_v) {
+      damp = opts.max_delta_v / max_v_step;
+      metrics.damped_iterations.Increment();
+    }
 
     for (int i = 0; i < n; ++i) {
       const double xi = x[static_cast<size_t>(i)];
@@ -61,6 +92,7 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
       if (std::fabs(delta) > tol) converged = false;
       x[static_cast<size_t>(i)] = xi + step;
       if (!std::isfinite(x[static_cast<size_t>(i)])) {
+        metrics.convergence_failures.Increment();
         return util::Status::NoConvergence(
             util::StrPrintf("newton diverged (non-finite) at iter %d", iter));
       }
@@ -71,6 +103,7 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
   }
   CMLDFT_LOG(kDebug) << "newton exhausted " << opts.max_iterations
                      << " iterations";
+  metrics.convergence_failures.Increment();
   return util::Status::NoConvergence(util::StrPrintf(
       "newton did not converge in %d iterations", opts.max_iterations));
 }

@@ -11,11 +11,40 @@
 #include "sim/newton.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/telemetry.h"
 
 namespace cmldft::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct TranMetrics {
+  util::telemetry::Counter runs = util::telemetry::GetCounter("sim.tran.runs");
+  util::telemetry::Counter accepted_steps =
+      util::telemetry::GetCounter("sim.tran.accepted_steps");
+  util::telemetry::Counter rejected_steps =
+      util::telemetry::GetCounter("sim.tran.rejected_steps");
+  util::telemetry::Counter newton_rejections =
+      util::telemetry::GetCounter("sim.tran.newton_rejections");
+  util::telemetry::Counter lte_rejections =
+      util::telemetry::GetCounter("sim.tran.lte_rejections");
+  util::telemetry::Counter breakpoint_hits =
+      util::telemetry::GetCounter("sim.tran.breakpoint_hits");
+  util::telemetry::Counter failures =
+      util::telemetry::GetCounter("sim.tran.failures");
+  // Accepted step sizes, log-spaced decade edges in seconds; CML transients
+  // live between ~10 fs (edge resolution) and ~1 ns (coast).
+  util::telemetry::Histogram step_size = util::telemetry::GetHistogram(
+      "sim.tran.step_size",
+      {1e-14, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9});
+  util::telemetry::Timer wall = util::telemetry::GetTimer("sim.tran.wall");
+};
+const TranMetrics& Metrics() {
+  static const TranMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const TranMetrics& kEagerRegistration = Metrics();
 
 // Source waveforms collected once per analysis — the stepping loop asks
 // for the next breakpoint on every step, and scanning all devices with
@@ -105,6 +134,9 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
   if (options.tstop <= 0.0) {
     return util::Status::InvalidArgument("tstop must be positive");
   }
+  const TranMetrics& metrics = Metrics();
+  metrics.runs.Increment();
+  util::telemetry::ScopedTimer span(metrics.wall);
   MnaSystem mna(netlist);
   mna.set_temperature(options.dc.temperature_k);
   mna.set_method(options.method);
@@ -187,8 +219,12 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
     auto solved = SolveNewton(mna, x, newton);
     if (!solved.ok()) {
       result.stats().rejected_steps++;
+      result.stats().newton_rejections++;
+      metrics.rejected_steps.Increment();
+      metrics.newton_rejections.Increment();
       mna.ResetCurrentStates();
       if (dt_eff <= options.dt_min * 1.001) {
+        metrics.failures.Increment();
         return util::Status::NoConvergence(util::StrPrintf(
             "transient stalled at t=%.6g (dt=%.3g): %s", t, dt_eff,
             solved.status().message().c_str()));
@@ -207,6 +243,9 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
     }
     if (max_change > options.max_voltage_step && dt_eff > options.dt_min * 1.001) {
       result.stats().rejected_steps++;
+      result.stats().lte_rejections++;
+      metrics.rejected_steps.Increment();
+      metrics.lte_rejections.Increment();
       mna.ResetCurrentStates();
       dt = std::max(options.dt_min,
                     dt_eff * 0.8 * options.max_voltage_step / max_change);
@@ -219,6 +258,12 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
     mna.RotateStates();
     record(t, x);
     result.stats().accepted_steps++;
+    metrics.accepted_steps.Increment();
+    metrics.step_size.Record(dt_eff);
+    if (hit_breakpoint) {
+      result.stats().breakpoint_hits++;
+      metrics.breakpoint_hits.Increment();
+    }
 
     if (hit_breakpoint) {
       dt = options.dt_initial;  // resolve the new edge finely

@@ -5,13 +5,19 @@
 //    reference's detected_at exactly on the seed circuits,
 //  - Monte-Carlo sweeps return bit-identical trial results regardless of
 //    thread count (technologies are pre-sampled serially).
+//  - telemetry counters and histograms (never timers) are bit-identical
+//    across thread counts for the same workload.
 #include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
 
 #include "cml/variation.h"
 #include "core/screening.h"
 #include "digital/faultsim.h"
 #include "digital/patterns.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace cmldft {
 namespace {
@@ -159,6 +165,66 @@ TEST(ScreeningDeterminism, OddThreadCountMatchesSerial) {
     EXPECT_EQ(a.Classify(), b.Classify()) << a.defect.Id();
     EXPECT_EQ(a.min_detector_vout, b.min_detector_vout) << a.defect.Id();
   }
+}
+
+// Runs `work` in a fresh telemetry window and returns the non-timer
+// metrics. Timers record wall-clock and are machine/schedule-dependent;
+// their Kind marks them for exclusion — everything else must merge exactly.
+std::vector<util::telemetry::MetricValue> DeterministicMetrics(
+    const std::function<void()>& work) {
+  util::telemetry::Reset();
+  work();
+  util::telemetry::Snapshot snap = util::telemetry::Capture();
+  std::vector<util::telemetry::MetricValue> out;
+  for (auto& m : snap.metrics) {
+    if (m.kind != util::telemetry::Kind::kTimer) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void ExpectSameMetrics(const std::vector<util::telemetry::MetricValue>& a,
+                       const std::vector<util::telemetry::MetricValue>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].count, b[i].count) << a[i].name;
+    EXPECT_EQ(a[i].buckets, b[i].buckets) << a[i].name;
+  }
+}
+
+TEST(TelemetryDeterminism, FaultSimCountersAreThreadCountInvariant) {
+  const digital::GateNetlist nl = digital::MakeScrambler(16);
+  const auto faults = digital::EnumerateStuckAtFaults(nl);
+  const auto patterns = digital::GeneratePatterns(
+      static_cast<int>(nl.inputs().size()), 96, 0xACE1u);
+  auto run = [&](int threads) {
+    return DeterministicMetrics([&] {
+      digital::FaultSimOptions opt;
+      opt.threads = threads;
+      (void)digital::RunStuckAtFaultSim(nl, faults, patterns, opt);
+    });
+  };
+  const auto serial = run(1);
+  const auto threaded = run(7);
+  ExpectSameMetrics(serial, threaded);
+}
+
+TEST(TelemetryDeterminism, ScreeningCountersAreThreadCountInvariant) {
+  // The strong form of ParallelMatchesSerialBitExact: not just the
+  // reported outcomes but every counter recorded along the way — Newton
+  // iterations, transient step accounting, LU factor counts, per-class
+  // tallies — must be identical when 7 threads split the defect sweep.
+  auto run = [&](int threads) {
+    return DeterministicMetrics([&] {
+      core::ScreeningOptions opt = SmallScreening();
+      opt.threads = threads;
+      auto rep = core::ScreenBufferChain(opt);
+      ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    });
+  };
+  const auto serial = run(1);
+  const auto threaded = run(7);
+  ExpectSameMetrics(serial, threaded);
 }
 
 TEST(MonteCarloDeterminism, SweepIsThreadCountInvariant) {

@@ -8,11 +8,14 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <numeric>
 
+#include "bench/paper_bench.h"
 #include "cml/builder.h"
 #include "defects/defect.h"
 #include "sim/dc.h"
 #include "sim/transient.h"
+#include "util/telemetry.h"
 #include "waveform/measure.h"
 
 namespace cmldft {
@@ -167,6 +170,83 @@ TEST(IntegrationEquivalence, MethodsAgreeOnDcOperatingPoint) {
   const double vt = run(netlist::IntegrationMethod::kTrapezoidal);
   const double vb = run(netlist::IntegrationMethod::kBackwardEuler);
   EXPECT_EQ(vt, vb);
+}
+
+// --- transient stepper properties on the paper's Fig. 4 chain -------------
+
+// One structural contract, checked two ways at once: the per-run Stats the
+// stepper reports and the process-wide telemetry counters must describe the
+// same events, and both must satisfy the stepper's own invariants.
+void CheckStepperAccounting(const netlist::Netlist& nl,
+                            const sim::TransientOptions& opts) {
+  util::telemetry::Reset();
+  const sim::TransientResult r = bench::MustRunTransient(nl, opts);
+  const sim::TransientResult::Stats& stats = r.stats();
+  const util::telemetry::Snapshot snap = util::telemetry::Capture();
+
+  EXPECT_EQ(snap.Value("sim.tran.runs"), 1u);
+  EXPECT_EQ(snap.Value("sim.tran.accepted_steps"),
+            static_cast<uint64_t>(stats.accepted_steps));
+  EXPECT_EQ(snap.Value("sim.tran.rejected_steps"),
+            static_cast<uint64_t>(stats.rejected_steps));
+  EXPECT_EQ(snap.Value("sim.tran.newton_rejections"),
+            static_cast<uint64_t>(stats.newton_rejections));
+  EXPECT_EQ(snap.Value("sim.tran.lte_rejections"),
+            static_cast<uint64_t>(stats.lte_rejections));
+  EXPECT_EQ(snap.Value("sim.tran.breakpoint_hits"),
+            static_cast<uint64_t>(stats.breakpoint_hits));
+  EXPECT_EQ(snap.Value("sim.dc.gmin_stages") + snap.Value("sim.dc.source_steps"),
+            static_cast<uint64_t>(stats.dc_homotopy_stages));
+
+  // Every rejection has exactly one cause.
+  EXPECT_EQ(stats.rejected_steps,
+            stats.newton_rejections + stats.lte_rejections);
+  // Each accepted timepoint was recorded (plus the t=0 operating point).
+  EXPECT_EQ(r.time().size(), static_cast<size_t>(stats.accepted_steps) + 1);
+  // A healthy run on the healing chain accepts the overwhelming majority
+  // of its steps; a rejection storm is a step-control regression.
+  EXPECT_GT(stats.accepted_steps, 0);
+  EXPECT_LE(stats.rejected_steps * 4, stats.accepted_steps);
+  // The differential clock has corners inside the window; each must have
+  // been landed on exactly (they are also accepted steps).
+  EXPECT_GT(stats.breakpoint_hits, 0);
+  EXPECT_LE(stats.breakpoint_hits, stats.accepted_steps);
+
+  // The step-size histogram samples exactly the accepted steps, and no
+  // accepted step may exceed the configured ceiling.
+  const util::telemetry::MetricValue* hist = snap.Find("sim.tran.step_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, static_cast<uint64_t>(stats.accepted_steps));
+  EXPECT_EQ(std::accumulate(hist->buckets.begin(), hist->buckets.end(),
+                            uint64_t{0}),
+            hist->count);
+  // Bucket b+1 holds values > bounds[b]: every bucket whose lower edge is
+  // at or above the ceiling must stay empty.
+  for (size_t b = 0; b + 1 < hist->buckets.size(); ++b) {
+    if (hist->bounds[b] >= opts.dt_max) {
+      EXPECT_EQ(hist->buckets[b + 1], 0u)
+          << "accepted a step above dt_max (bucket edge " << hist->bounds[b]
+          << ")";
+    }
+  }
+}
+
+TEST(TransientStepperProperties, PaperChainFaultFree) {
+  bench::PaperChain chain = bench::MakePaperChain(500e6);
+  sim::TransientOptions opts;
+  opts.tstop = 6e-9;
+  CheckStepperAccounting(chain.nl, opts);
+}
+
+TEST(TransientStepperProperties, PaperChainWithHealedPipeDefect) {
+  // The paper's central defect: a C-E pipe on the DUT whose amplitude
+  // collapse is healed by the downstream stages (Fig. 4). The stepper
+  // accounting must hold on the defective circuit too.
+  bench::PaperChain chain = bench::MakePaperChain(500e6);
+  netlist::Netlist faulty = bench::WithDutPipe(chain, 2e3);
+  sim::TransientOptions opts;
+  opts.tstop = 6e-9;
+  CheckStepperAccounting(faulty, opts);
 }
 
 }  // namespace

@@ -10,6 +10,11 @@
 //       Structural check for google-benchmark output: the benchmark
 //       name list must match; timings are never compared.
 //
+//   golden_check --telemetry-schema <actual.json> <golden.json>
+//       Structural check for "cmldft-telemetry-v1" snapshots: the metric
+//       name set, kinds, and histogram bounds must match; counter values
+//       and timings are run-dependent and never compared.
+//
 // Exit codes: 0 = within tolerance, 1 = drift (details on stdout),
 // 2 = usage or I/O error. To intentionally refresh a snapshot, rerun the
 // bench with --json pointing at golden/<bench>.json (or use the
@@ -23,9 +28,13 @@
 
 namespace {
 
+enum class Mode { kReport, kGbench, kTelemetrySchema };
+
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--gbench] <actual.json> <golden.json>\n", argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--gbench|--telemetry-schema] <actual.json> <golden.json>\n",
+      argv0);
   return 2;
 }
 
@@ -33,10 +42,13 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   using cmldft::report::GoldenDiff;
-  bool gbench = false;
+  Mode mode = Mode::kReport;
   int arg = 1;
   if (arg < argc && std::strcmp(argv[arg], "--gbench") == 0) {
-    gbench = true;
+    mode = Mode::kGbench;
+    ++arg;
+  } else if (arg < argc && std::strcmp(argv[arg], "--telemetry-schema") == 0) {
+    mode = Mode::kTelemetrySchema;
     ++arg;
   }
   if (argc - arg != 2) return Usage(argv[0]);
@@ -57,9 +69,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const GoldenDiff diff =
-      gbench ? cmldft::report::CompareGbenchStructure(*actual, *golden)
-             : cmldft::report::CompareReports(*actual, *golden);
+  GoldenDiff diff;
+  switch (mode) {
+    case Mode::kReport:
+      diff = cmldft::report::CompareReports(*actual, *golden);
+      break;
+    case Mode::kGbench:
+      diff = cmldft::report::CompareGbenchStructure(*actual, *golden);
+      break;
+    case Mode::kTelemetrySchema:
+      diff = cmldft::report::CompareTelemetrySchema(*actual, *golden);
+      break;
+  }
   std::printf("%s vs %s\n%s", actual_path.c_str(), golden_path.c_str(),
               diff.Summary().c_str());
   if (!diff.ok()) {

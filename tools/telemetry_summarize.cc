@@ -1,0 +1,41 @@
+// Prints a human-readable digest of one or more "cmldft-telemetry-v1"
+// snapshot files (written by any bench binary's --telemetry flag or by
+// report::WriteTelemetrySnapshotFile). With several files, each gets its
+// own digest — handy for eyeballing a campaign snapshot next to the
+// fault-free reference run in CI logs.
+//
+//   telemetry_summarize <snapshot.json> [more.json ...]
+//
+// Exit codes: 0 = all files summarized, 2 = usage or parse error.
+#include <cstdio>
+#include <string>
+
+#include "report/json.h"
+#include "report/telemetry_json.h"
+#include "util/telemetry.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <snapshot.json> [more.json ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    auto doc = cmldft::report::ReadJsonFile(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 2;
+    }
+    auto snap = cmldft::report::TelemetrySnapshotFromJson(*doc);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   snap.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("== %s ==\n%s", path.c_str(),
+                cmldft::util::telemetry::DigestToText(*snap).c_str());
+    if (i + 1 < argc) std::printf("\n");
+  }
+  return 0;
+}
