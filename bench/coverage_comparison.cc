@@ -4,12 +4,15 @@
 // conventional logic/stuck-at testing at the primary output, delay
 // testing, or ONLY the built-in amplitude detectors. "Classical stuck-at
 // faults are far from providing sufficient defect coverage."
+//
+// Report assembly is shared with `campaign_merge --coverage-report`
+// (bench/paper_bench.h): a sharded, kill-resumed campaign over the same
+// options must reproduce this bench's JSON byte-for-byte.
 #include <cstdio>
 #include <cmath>
-#include <map>
 
 #include "bench/paper_bench.h"
-#include "core/diagnosis.h"
+#include "campaign/runner.h"
 #include "core/screening.h"
 #include "report/report.h"
 
@@ -17,37 +20,21 @@ using namespace cmldft;
 
 int main(int argc, char** argv) {
   report::BenchIo io(argc, argv);
-  report::Report& rep = io.Begin(
-      "coverage_comparison",
-      "§1/§5/§6 (defect coverage: conventional testing vs + amplitude detectors)",
-      "full defect universe on a 3-buffer chain with variant-2 detectors "
-      "(test mode)");
+  report::Report& rep = io.Begin(bench::kCoverageComparisonExperiment,
+                                 bench::kCoverageComparisonPaperRef,
+                                 bench::kCoverageComparisonSummary);
 
-  core::ScreeningOptions opt;
-  opt.chain_length = 3;
-  opt.sim_time = 50e-9;
-  opt.detector.load_cap = 1e-12;
-  opt.enumeration.pipe_values = {1e3, 2e3, 4e3, 8e3};
-  auto report = core::ScreenBufferChain(opt);
+  // The options are a named campaign preset so tools/campaign_run screens
+  // the exact same universe.
+  auto opt = campaign::ScreeningPreset("coverage_comparison");
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 1;
+  }
+  auto report = core::ScreenBufferChain(*opt);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
-  }
-
-  // Iddq realism: CML draws large static bias current by design ("current
-  // steering ... irrespective of circuit activity"), so a defect's extra
-  // milliamp is resolvable against a 3-gate block but vanishes on a full
-  // chip. Re-threshold the Iddq verdicts as if the block sat in a
-  // 10,000-gate die with the same 25% measurement resolution.
-  constexpr double kChipGates = 10000.0;
-  const double chain_gates = 3.0;
-  core::ScreeningReport chip = *report;
-  for (auto& o : chip.outcomes) {
-    const double delta =
-        std::abs(o.supply_current - report->reference_supply_current);
-    const double chip_quiescent =
-        report->reference_supply_current * (kChipGates / chain_gates);
-    o.iddq_fail = delta > opt.iddq_fraction * chip_quiescent;
   }
 
   std::printf("reference: primary swing %.3f V, delay %.0f ps, detector vout "
@@ -55,64 +42,35 @@ int main(int argc, char** argv) {
               report->nominal_swing, report->reference_delay * 1e12,
               report->reference_detector_vout);
 
-  using report::Tol;
-  rep.AddScalar("nominal_swing", report->nominal_swing, "V", Tol::Abs(0.02));
-  rep.AddScalar("reference_delay_ps", report->reference_delay * 1e12, "ps",
-                Tol::Rel(0.1, 1.0));
-  rep.AddScalar("reference_detector_vout", report->reference_detector_vout,
-                "V", Tol::Abs(0.02));
+  const bench::CoverageComparisonSummary sum =
+      bench::FillCoverageComparisonReport(*report, *opt, rep);
+  const core::ScreeningReport& chip = sum.chip;
+  std::printf("%s\n", sum.per_defect->ToText().c_str());
 
-  // Per-defect detail (one line each). Classification is a discrete
-  // verdict: exact. The analog columns are informational (they feed the
-  // class, which is what we pin down).
-  report::Table& table = rep.AddTable(
-      "per_defect", {{"defect", Tol::Exact()},
-                     {"class", Tol::Exact()},
-                     {"gate amplitude", "V", Tol::Info()},
-                     {"det vout", "V", Tol::Info()}});
-  for (const auto& o : report->outcomes) {
-    table.NewRow()
-        .Str(o.defect.Id())
-        .Str(std::string(core::FaultClassName(o.Classify())))
-        .Num("%.2f", o.max_gate_amplitude)
-        .Num("%.2f", o.min_detector_vout);
-  }
-  std::printf("%s\n", table.ToText().c_str());
-
-  // Summary (chip-scale Iddq: the paper's context).
-  std::map<core::FaultClass, int> counts;
-  for (const auto& o : chip.outcomes) counts[o.Classify()]++;
   std::printf("defects total           : %d\n", report->total());
   std::printf("  logic-visible         : %d\n",
-              counts[core::FaultClass::kLogicVisible]);
+              chip.CountClass(core::FaultClass::kLogicVisible));
   std::printf("  delay-visible         : %d\n",
-              counts[core::FaultClass::kDelayVisible]);
+              chip.CountClass(core::FaultClass::kDelayVisible));
   std::printf("  iddq-visible          : %d\n",
-              counts[core::FaultClass::kIddqVisible]);
+              chip.CountClass(core::FaultClass::kIddqVisible));
   std::printf("  catastrophic          : %d (no bias point)\n",
-              counts[core::FaultClass::kCatastrophic]);
+              chip.CountClass(core::FaultClass::kCatastrophic));
   std::printf("  AMPLITUDE-ONLY        : %d  <- invisible to conventional tests\n",
-              counts[core::FaultClass::kAmplitudeOnly]);
+              chip.CountClass(core::FaultClass::kAmplitudeOnly));
   std::printf("  no-effect             : %d\n",
-              counts[core::FaultClass::kNoEffect]);
+              chip.CountClass(core::FaultClass::kNoEffect));
   std::printf("  unresolved            : %d (simulation failed; never counted "
               "as coverage)\n",
-              counts[core::FaultClass::kUnresolved]);
+              chip.CountClass(core::FaultClass::kUnresolved));
   for (const auto& o : chip.outcomes) {
     if (o.Classify() == core::FaultClass::kUnresolved) {
       std::printf("    %s: %s\n", o.defect.Id().c_str(), o.error.c_str());
     }
   }
-  rep.AddInt("defects_total", report->total());
-  rep.AddInt("chip_logic_visible", counts[core::FaultClass::kLogicVisible]);
-  rep.AddInt("chip_delay_visible", counts[core::FaultClass::kDelayVisible]);
-  rep.AddInt("chip_iddq_visible", counts[core::FaultClass::kIddqVisible]);
-  rep.AddInt("chip_catastrophic", counts[core::FaultClass::kCatastrophic]);
-  rep.AddInt("chip_amplitude_only", counts[core::FaultClass::kAmplitudeOnly]);
-  rep.AddInt("chip_no_effect", counts[core::FaultClass::kNoEffect]);
-  rep.AddInt("chip_unresolved", counts[core::FaultClass::kUnresolved]);
 
-  std::printf("\nblock-scale Iddq (3 gates, 25%% resolution):\n");
+  std::printf("\nblock-scale Iddq (%d gates, 25%% resolution):\n",
+              opt->chain_length);
   std::printf("  coverage, conventional (stuck-at+delay+Iddq+gross): %.1f%%\n",
               report->ConventionalCoverage() * 100);
   std::printf("  coverage, + built-in amplitude detectors          : %.1f%%\n",
@@ -126,23 +84,11 @@ int main(int argc, char** argv) {
               (chip.CombinedCoverage() - chip.ConventionalCoverage()) * 100);
   std::printf("  amplitude-only escapes recovered by the detectors : %d\n",
               chip.CountClass(core::FaultClass::kAmplitudeOnly));
-  rep.AddScalar("block_conventional_coverage_pct",
-                report->ConventionalCoverage() * 100, "%", Tol::Exact());
-  rep.AddScalar("block_combined_coverage_pct",
-                report->CombinedCoverage() * 100, "%", Tol::Exact());
-  rep.AddScalar("chip_conventional_coverage_pct",
-                chip.ConventionalCoverage() * 100, "%", Tol::Exact());
-  rep.AddScalar("chip_combined_coverage_pct", chip.CombinedCoverage() * 100,
-                "%", Tol::Exact());
 
-  // Localization bonus: per-gate detectors don't just flag the die, they
-  // name the faulty gate.
-  const core::LocalizationSummary loc = core::EvaluateLocalization(*report);
-  rep.AddInt("localization_correct", loc.correct);
-  rep.AddInt("localization_localizable", loc.localizable);
   std::printf("\nfault localization (detector site vs defect site): %d/%d "
               "correct (%.0f%%)\n",
-              loc.correct, loc.localizable, loc.Accuracy() * 100);
+              sum.localization.correct, sum.localization.localizable,
+              sum.localization.Accuracy() * 100);
   std::printf(
       "\npaper: simulations show abnormal gate output excursions caused by a\n"
       "defect are common with CML, and these detectors cover classes of\n"

@@ -124,4 +124,81 @@ void AddDetectorPointRow(report::Table& table, double load_cap, double pipe,
   table.Num("%.3f", pt.response.vmax);
 }
 
+CoverageComparisonSummary FillCoverageComparisonReport(
+    const core::ScreeningReport& screening, const core::ScreeningOptions& opt,
+    report::Report& rep) {
+  using report::Tol;
+  CoverageComparisonSummary out;
+
+  // Iddq realism: CML draws large static bias current by design ("current
+  // steering ... irrespective of circuit activity"), so a defect's extra
+  // milliamp is resolvable against a small block but vanishes on a full
+  // chip. Re-threshold the Iddq verdicts as if the block sat in a
+  // 10,000-gate die with the same measurement resolution.
+  constexpr double kChipGates = 10000.0;
+  const double chain_gates = static_cast<double>(opt.chain_length);
+  out.chip = screening;
+  for (auto& o : out.chip.outcomes) {
+    const double delta =
+        std::abs(o.supply_current - screening.reference_supply_current);
+    const double chip_quiescent =
+        screening.reference_supply_current * (kChipGates / chain_gates);
+    o.iddq_fail = delta > opt.iddq_fraction * chip_quiescent;
+  }
+
+  rep.AddScalar("nominal_swing", screening.nominal_swing, "V", Tol::Abs(0.02));
+  rep.AddScalar("reference_delay_ps", screening.reference_delay * 1e12, "ps",
+                Tol::Rel(0.1, 1.0));
+  rep.AddScalar("reference_detector_vout", screening.reference_detector_vout,
+                "V", Tol::Abs(0.02));
+
+  // Per-defect detail (one line each). Classification is a discrete
+  // verdict: exact. The analog columns are informational (they feed the
+  // class, which is what we pin down).
+  report::Table& table = rep.AddTable(
+      "per_defect", {{"defect", Tol::Exact()},
+                     {"class", Tol::Exact()},
+                     {"gate amplitude", "V", Tol::Info()},
+                     {"det vout", "V", Tol::Info()}});
+  for (const auto& o : screening.outcomes) {
+    table.NewRow()
+        .Str(o.defect.Id())
+        .Str(std::string(core::FaultClassName(o.Classify())))
+        .Num("%.2f", o.max_gate_amplitude)
+        .Num("%.2f", o.min_detector_vout);
+  }
+  out.per_defect = &table;
+
+  rep.AddInt("defects_total", screening.total());
+  rep.AddInt("chip_logic_visible",
+             out.chip.CountClass(core::FaultClass::kLogicVisible));
+  rep.AddInt("chip_delay_visible",
+             out.chip.CountClass(core::FaultClass::kDelayVisible));
+  rep.AddInt("chip_iddq_visible",
+             out.chip.CountClass(core::FaultClass::kIddqVisible));
+  rep.AddInt("chip_catastrophic",
+             out.chip.CountClass(core::FaultClass::kCatastrophic));
+  rep.AddInt("chip_amplitude_only",
+             out.chip.CountClass(core::FaultClass::kAmplitudeOnly));
+  rep.AddInt("chip_no_effect", out.chip.CountClass(core::FaultClass::kNoEffect));
+  rep.AddInt("chip_unresolved",
+             out.chip.CountClass(core::FaultClass::kUnresolved));
+
+  rep.AddScalar("block_conventional_coverage_pct",
+                screening.ConventionalCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("block_combined_coverage_pct",
+                screening.CombinedCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("chip_conventional_coverage_pct",
+                out.chip.ConventionalCoverage() * 100, "%", Tol::Exact());
+  rep.AddScalar("chip_combined_coverage_pct", out.chip.CombinedCoverage() * 100,
+                "%", Tol::Exact());
+
+  // Localization bonus: per-gate detectors don't just flag the die, they
+  // name the faulty gate.
+  out.localization = core::EvaluateLocalization(screening);
+  rep.AddInt("localization_correct", out.localization.correct);
+  rep.AddInt("localization_localizable", out.localization.localizable);
+  return out;
+}
+
 }  // namespace cmldft::bench

@@ -11,6 +11,8 @@
 
 #include "cml/builder.h"
 #include "core/detector.h"
+#include "core/diagnosis.h"
+#include "core/screening.h"
 #include "defects/defect.h"
 #include "netlist/netlist.h"
 #include "report/report.h"
@@ -68,5 +70,37 @@ std::vector<report::Column> DetectorPointColumns();
 /// Append one DetectorPoint row to a table with DetectorPointColumns().
 void AddDetectorPointRow(report::Table& table, double load_cap, double pipe,
                          const DetectorPoint& pt);
+
+// --- coverage_comparison report, shared with the campaign runtime --------
+//
+// The coverage_comparison bench and `campaign_merge --coverage-report`
+// must emit byte-identical JSON from the same ScreeningReport: one is a
+// monolithic run, the other a merged sharded campaign, and the golden
+// snapshot pins both. Report assembly therefore lives here, once.
+
+inline constexpr const char kCoverageComparisonExperiment[] =
+    "coverage_comparison";
+inline constexpr const char kCoverageComparisonPaperRef[] =
+    "§1/§5/§6 (defect coverage: conventional testing vs + amplitude "
+    "detectors)";
+inline constexpr const char kCoverageComparisonSummary[] =
+    "full defect universe on a 3-buffer chain with variant-2 detectors "
+    "(test mode)";
+
+/// Derived views the bench prints after filling the report.
+struct CoverageComparisonSummary {
+  /// Iddq verdicts re-thresholded as if the block sat in a 10,000-gate die.
+  core::ScreeningReport chip;
+  core::LocalizationSummary localization;
+  /// The per-defect table added to the report (owned by the report).
+  const report::Table* per_defect = nullptr;
+};
+
+/// Fill `rep` with the complete coverage_comparison report (reference
+/// scalars, per-defect table, block- and chip-scale coverage, fault
+/// localization) from a finished screening run under `opt`.
+CoverageComparisonSummary FillCoverageComparisonReport(
+    const core::ScreeningReport& screening, const core::ScreeningOptions& opt,
+    report::Report& rep);
 
 }  // namespace cmldft::bench

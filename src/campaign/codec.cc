@@ -1,0 +1,249 @@
+#include "campaign/codec.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace cmldft::campaign {
+
+namespace {
+
+// Explicit little-endian byte writer/reader. memcpy through fixed-width
+// integers keeps the format independent of host struct layout; the byte
+// order loop keeps it independent of host endianness.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void F64Vec(const std::vector<double>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (double d : v) F64(d);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool Bool() { return U8() != 0; }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::vector<double> F64Vec() {
+    const uint32_t n = U32();
+    if (!Need(static_cast<size_t>(n) * 8)) return {};
+    std::vector<double> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(F64());
+    return v;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void WriteDefect(ByteWriter& w, const defects::Defect& d) {
+  w.U8(static_cast<uint8_t>(d.type));
+  w.Str(d.device);
+  w.I32(d.terminal_a);
+  w.I32(d.terminal_b);
+  w.Str(d.node_a);
+  w.Str(d.node_b);
+  w.F64(d.resistance);
+}
+
+defects::Defect ReadDefect(ByteReader& r) {
+  defects::Defect d;
+  d.type = static_cast<defects::DefectType>(r.U8());
+  d.device = r.Str();
+  d.terminal_a = r.I32();
+  d.terminal_b = r.I32();
+  d.node_a = r.Str();
+  d.node_b = r.Str();
+  d.resistance = r.F64();
+  return d;
+}
+
+}  // namespace
+
+std::string EncodeReferenceRecord(const core::ScreeningReport& reference) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RecordType::kReference));
+  w.F64(reference.nominal_swing);
+  w.F64(reference.reference_delay);
+  w.F64(reference.reference_detector_vout);
+  w.F64(reference.reference_supply_current);
+  w.F64Vec(reference.reference_detector_vouts);
+  return w.Take();
+}
+
+std::string EncodeOutcomeRecord(uint64_t unit_id,
+                                const core::DefectOutcome& outcome) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RecordType::kOutcome));
+  w.U64(unit_id);
+  WriteDefect(w, outcome.defect);
+  w.Bool(outcome.converged);
+  w.Bool(outcome.no_bias_point);
+  w.Str(outcome.error);
+  w.Bool(outcome.logic_fail);
+  w.Bool(outcome.delay_fail);
+  w.Bool(outcome.iddq_fail);
+  w.Bool(outcome.amplitude_detected);
+  w.F64(outcome.max_gate_amplitude);
+  w.F64(outcome.min_detector_vout);
+  w.F64Vec(outcome.detector_vouts);
+  w.F64(outcome.supply_current);
+  return w.Take();
+}
+
+util::StatusOr<DecodedRecord> DecodeRecord(std::string_view payload) {
+  ByteReader r(payload);
+  DecodedRecord rec;
+  const uint8_t type = r.U8();
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kReference: {
+      rec.type = RecordType::kReference;
+      rec.reference.nominal_swing = r.F64();
+      rec.reference.reference_delay = r.F64();
+      rec.reference.reference_detector_vout = r.F64();
+      rec.reference.reference_supply_current = r.F64();
+      rec.reference.reference_detector_vouts = r.F64Vec();
+      break;
+    }
+    case RecordType::kOutcome: {
+      rec.type = RecordType::kOutcome;
+      rec.unit_id = r.U64();
+      rec.outcome.defect = ReadDefect(r);
+      rec.outcome.converged = r.Bool();
+      rec.outcome.no_bias_point = r.Bool();
+      rec.outcome.error = r.Str();
+      rec.outcome.logic_fail = r.Bool();
+      rec.outcome.delay_fail = r.Bool();
+      rec.outcome.iddq_fail = r.Bool();
+      rec.outcome.amplitude_detected = r.Bool();
+      rec.outcome.max_gate_amplitude = r.F64();
+      rec.outcome.min_detector_vout = r.F64();
+      rec.outcome.detector_vouts = r.F64Vec();
+      rec.outcome.supply_current = r.F64();
+      break;
+    }
+    default:
+      return util::Status::ParseError("unknown campaign record type " +
+                                      std::to_string(type));
+  }
+  if (!r.ok()) {
+    return util::Status::ParseError("truncated campaign record payload");
+  }
+  if (!r.AtEnd()) {
+    return util::Status::ParseError("trailing bytes in campaign record");
+  }
+  return rec;
+}
+
+uint64_t CampaignFingerprint(const core::ScreeningOptions& options,
+                             const std::vector<defects::Defect>& universe) {
+  util::ContentHasher h;
+  h.Str("cmldft-campaign-fingerprint-v1");
+  h.I64(options.chain_length);
+  h.F64(options.frequency);
+  h.F64(options.sim_time);
+  h.F64(options.detector_drop);
+  h.F64(options.logic_swing_fraction);
+  h.F64(options.delay_threshold);
+  h.F64(options.iddq_fraction);
+  const core::DetectorOptions& det = options.detector;
+  h.I64(static_cast<int64_t>(det.load_kind));
+  h.F64(det.load_cap);
+  h.F64(det.load_resistor);
+  h.F64(det.bleed_resistor);
+  h.F64(det.r0);
+  h.F64(det.vtest_test_mode);
+  h.Bool(det.multi_emitter);
+  h.F64(det.comparator_tail);
+  h.F64(det.comparator_rc);
+  h.F64(det.comparator_fb_bleed);
+  h.F64(det.comparator_beta);
+  // The enumeration options themselves are not hashed: their effect is the
+  // universe, and the universe is hashed in full — structure, ordering,
+  // and electrical values. A netlist or enumeration change shows up here.
+  h.U64(universe.size());
+  for (const defects::Defect& d : universe) {
+    h.I64(static_cast<int64_t>(d.type));
+    h.Str(d.device);
+    h.I64(d.terminal_a);
+    h.I64(d.terminal_b);
+    h.Str(d.node_a);
+    h.Str(d.node_b);
+    h.F64(d.resistance);
+  }
+  return h.Digest();
+}
+
+}  // namespace cmldft::campaign

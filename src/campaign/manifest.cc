@@ -1,0 +1,49 @@
+#include "campaign/manifest.h"
+
+#include "util/strings.h"
+
+namespace cmldft::campaign {
+
+report::Report BuildCampaignManifest(const MergeResult& merged) {
+  using report::Tol;
+  report::Report rep(
+      "campaign_manifest",
+      "§6 (defect-universe coverage, recombined from campaign shards)",
+      "merged shard stores of a durable screening campaign");
+
+  rep.AddText("fingerprint",
+              util::StrPrintf("%016llx",
+                              static_cast<unsigned long long>(
+                                  merged.fingerprint)));
+  rep.AddInt("total_units", static_cast<long long>(merged.total_units));
+  rep.AddInt("shard_count", static_cast<long long>(merged.shard_count));
+
+  const core::ScreeningReport& r = merged.report;
+  for (int c = 0; c < core::kNumFaultClasses; ++c) {
+    const auto fc = static_cast<core::FaultClass>(c);
+    rep.AddInt("class_" + std::string(core::FaultClassName(fc)),
+               r.CountClass(fc));
+  }
+  rep.AddScalar("conventional_coverage_pct", r.ConventionalCoverage() * 100,
+                "%", Tol::Exact());
+  rep.AddScalar("combined_coverage_pct", r.CombinedCoverage() * 100, "%",
+                Tol::Exact());
+
+  rep.AddScalar("nominal_swing", r.nominal_swing, "V", Tol::Abs(0.02));
+  rep.AddScalar("reference_delay_ps", r.reference_delay * 1e12, "ps",
+                Tol::Rel(0.1, 1.0));
+  rep.AddScalar("reference_detector_vout", r.reference_detector_vout, "V",
+                Tol::Abs(0.02));
+
+  // Per-store contribution: how the campaign was decomposed. Informational
+  // — the same universe merged from a different shard split is still the
+  // same campaign result.
+  report::Table& shards = rep.AddTable(
+      "shards", {{"shard", Tol::Info()}, {"outcomes", Tol::Info()}});
+  for (const auto& [index, count] : merged.shard_outcomes) {
+    shards.NewRow().Int(index).Int(static_cast<long long>(count));
+  }
+  return rep;
+}
+
+}  // namespace cmldft::campaign

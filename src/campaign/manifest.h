@@ -1,0 +1,19 @@
+// Campaign manifest: the JSON face of a merged campaign, built on the
+// report library so the golden-regression pipeline can pin it like any
+// bench report. Coverage tallies are Exact-tolerance (recomputed from
+// merged outcomes — drift means classification changed), analog reference
+// measurements carry the same tolerance classes coverage_comparison uses,
+// and the fingerprint is Exact so a silently different universe or
+// configuration cannot masquerade as the golden campaign.
+#pragma once
+
+#include "campaign/merge.h"
+#include "report/report.h"
+
+namespace cmldft::campaign {
+
+/// Build the manifest report for a merged campaign. Deterministic: the
+/// same merged campaign yields byte-identical JSON.
+report::Report BuildCampaignManifest(const MergeResult& merged);
+
+}  // namespace cmldft::campaign

@@ -1,0 +1,127 @@
+#include "campaign/merge.h"
+
+#include <optional>
+
+#include "campaign/codec.h"
+#include "campaign/store.h"
+#include "util/telemetry.h"
+
+namespace cmldft::campaign {
+
+util::StatusOr<MergeResult> MergeCampaignStores(
+    const std::vector<std::string>& paths) {
+  static const auto& merges = [] {
+    struct M {
+      util::telemetry::Counter c =
+          util::telemetry::GetCounter("campaign.merges");
+    } static const m;
+    return m;
+  }();
+  merges.c.Increment();
+
+  if (paths.empty()) {
+    return util::Status::InvalidArgument("no campaign stores to merge");
+  }
+
+  MergeResult out;
+  std::optional<std::string> reference_bytes;
+  std::vector<std::optional<core::DefectOutcome>> outcomes;
+
+  for (const std::string& path : paths) {
+    auto scan = ScanStore(path);
+    if (!scan.ok()) return scan.status();
+    if (scan->torn_tail) {
+      return util::Status::FailedPrecondition(
+          path + ": store has a torn tail — the shard was interrupted; "
+                 "resume it to completion before merging");
+    }
+    if (out.shard_count == 0) {
+      out.fingerprint = scan->header.fingerprint;
+      out.total_units = scan->header.total_units;
+      out.shard_count = scan->header.shard_count;
+      outcomes.resize(out.total_units);
+    } else if (scan->header.fingerprint != out.fingerprint ||
+               scan->header.total_units != out.total_units ||
+               scan->header.shard_count != out.shard_count) {
+      return util::Status::FailedPrecondition(
+          path + ": store does not belong to this campaign (fingerprint, "
+                 "universe size, or shard plan differs from " +
+          paths.front() + ")");
+    }
+
+    uint64_t outcome_records = 0;
+    for (const std::string& payload : scan->records) {
+      auto rec = DecodeRecord(payload);
+      if (!rec.ok()) {
+        return util::Status(rec.status().code(),
+                            path + ": " + rec.status().message());
+      }
+      if (rec->type == RecordType::kReference) {
+        if (reference_bytes.has_value() && *reference_bytes != payload) {
+          return util::Status::FailedPrecondition(
+              path + ": reference measurements differ between shard stores; "
+                     "the shards were not produced by the same engine and "
+                     "configuration");
+        }
+        if (!reference_bytes.has_value()) {
+          reference_bytes = payload;
+          out.report.nominal_swing = rec->reference.nominal_swing;
+          out.report.reference_delay = rec->reference.reference_delay;
+          out.report.reference_detector_vout =
+              rec->reference.reference_detector_vout;
+          out.report.reference_supply_current =
+              rec->reference.reference_supply_current;
+          out.report.reference_detector_vouts =
+              rec->reference.reference_detector_vouts;
+        }
+        continue;
+      }
+      if (rec->unit_id >= out.total_units) {
+        return util::Status::FailedPrecondition(
+            path + ": record for unit " + std::to_string(rec->unit_id) +
+            " outside the universe of " + std::to_string(out.total_units));
+      }
+      if (outcomes[rec->unit_id].has_value()) {
+        return util::Status::FailedPrecondition(
+            path + ": unit " + std::to_string(rec->unit_id) +
+            " already provided by another record — overlapping or "
+            "duplicated shard stores");
+      }
+      outcomes[rec->unit_id] = std::move(rec->outcome);
+      ++outcome_records;
+    }
+    out.shard_outcomes.emplace_back(scan->header.shard_index, outcome_records);
+  }
+
+  if (!reference_bytes.has_value()) {
+    return util::Status::FailedPrecondition(
+        "no store carries the fault-free reference record");
+  }
+
+  // Completeness: recompute coverage strictly from what is present. A
+  // missing unit is a hard error, not a smaller denominator.
+  uint64_t missing = 0;
+  uint64_t first_missing = 0;
+  for (uint64_t id = 0; id < out.total_units; ++id) {
+    if (!outcomes[id].has_value()) {
+      if (missing == 0) first_missing = id;
+      ++missing;
+    }
+  }
+  if (missing != 0) {
+    return util::Status::FailedPrecondition(
+        "campaign incomplete: " + std::to_string(missing) + " of " +
+        std::to_string(out.total_units) + " units missing (first missing id " +
+        std::to_string(first_missing) +
+        ") — run the remaining shards (or resume interrupted ones) before "
+        "merging");
+  }
+
+  out.report.outcomes.reserve(out.total_units);
+  for (uint64_t id = 0; id < out.total_units; ++id) {
+    out.report.outcomes.push_back(std::move(*outcomes[id]));
+  }
+  return out;
+}
+
+}  // namespace cmldft::campaign

@@ -1,0 +1,39 @@
+// Recombination: fold N shard stores back into one ScreeningReport that
+// is bit-identical to a monolithic, uninterrupted run.
+//
+// Merge trusts nothing a header *claims* about completeness: coverage
+// totals are recomputed from the outcome records actually present, and
+// the merge fails loudly if any universe unit is missing (a truncated or
+// unfinished shard can therefore never silently inflate coverage) or
+// present twice (overlapping/duplicated stores). Reference measurements
+// must agree bit-for-bit across shards — they are re-derived
+// deterministically by every shard run, so any divergence means the
+// shards were produced by different engines or configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/screening.h"
+#include "util/status.h"
+
+namespace cmldft::campaign {
+
+struct MergeResult {
+  /// Outcomes in universe order — bit-identical to a monolithic run.
+  core::ScreeningReport report;
+  uint64_t fingerprint = 0;
+  uint64_t total_units = 0;
+  uint32_t shard_count = 0;
+  /// (shard index, outcome records contributed), in input order.
+  std::vector<std::pair<uint32_t, uint64_t>> shard_outcomes;
+};
+
+/// Merge one or more shard stores. Every store must carry the same
+/// fingerprint, universe size, and shard count; together they must cover
+/// every unit id exactly once.
+util::StatusOr<MergeResult> MergeCampaignStores(
+    const std::vector<std::string>& paths);
+
+}  // namespace cmldft::campaign

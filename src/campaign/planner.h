@@ -1,0 +1,37 @@
+// Deterministic shard planning over the stable defect-universe ordering.
+//
+// A shard plan is pure arithmetic on unit ids: unit `id` belongs to shard
+// `id % count`. Striping (rather than contiguous blocks) balances load —
+// expensive defect families (e.g. the catastrophic shorts that trigger DC
+// probing) cluster in enumeration order, and striping spreads them evenly.
+// Because membership depends only on (id, count), any subset of shards can
+// be planned, run on different machines at different times, and merged;
+// together the N shards partition the universe exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cmldft::campaign {
+
+struct ShardPlan {
+  uint32_t index = 0;  ///< 0-based
+  uint32_t count = 1;
+
+  bool Contains(uint64_t id) const { return id % count == index; }
+  /// Number of universe units that fall in this shard.
+  uint64_t UnitsOf(uint64_t total_units) const {
+    return total_units / count + (total_units % count > index ? 1 : 0);
+  }
+  /// "i/N" (0-based), e.g. "0/4".
+  std::string ToString() const;
+};
+
+/// Parse "i/N" with 0 <= i < N (0-based shard index). Rejects anything
+/// else with a message that spells out the expected form.
+util::StatusOr<ShardPlan> ParseShardSpec(std::string_view spec);
+
+}  // namespace cmldft::campaign

@@ -1,0 +1,64 @@
+// Durable, resumable execution of one campaign shard.
+//
+// RunScreeningCampaign turns core::ScreenBufferChain's single in-memory
+// pass into a crash-safe unit of a larger campaign:
+//
+//   1. Enumerate the universe (no simulation) and fingerprint it together
+//      with the screening options.
+//   2. If the store file exists: scan it, refuse a fingerprint/shard/size
+//      mismatch, truncate a torn tail record, and collect the unit ids
+//      already completed. Otherwise create the store.
+//   3. Screen with a WorkSource = (shard membership AND not yet complete)
+//      and a Sink that appends each outcome as a CRC-framed record,
+//      fsync'd in batches.
+//
+// `kill -9` at any instant leaves a valid store prefix; rerunning the
+// same command line resumes where the file ends. After all shards
+// complete, merge.h reassembles the exact monolithic report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "campaign/planner.h"
+#include "core/screening.h"
+#include "util/status.h"
+
+namespace cmldft::campaign {
+
+struct CampaignOptions {
+  core::ScreeningOptions screening;
+  ShardPlan shard;
+  /// Path of this shard's `.campaign` result store.
+  std::string store_path;
+  /// fsync after this many appended records (and always on completion).
+  int fsync_batch = 8;
+  /// Crash injection for tests/CI: SIGKILL this process the moment the
+  /// store would exceed this many bytes (0 = off). See util::AppendFile.
+  uint64_t abort_at_bytes = 0;
+};
+
+struct CampaignRunStats {
+  uint64_t total_units = 0;    ///< universe size under these options
+  uint64_t shard_units = 0;    ///< units belonging to this shard
+  uint64_t resumed_skips = 0;  ///< shard units already complete in the store
+  uint64_t executed = 0;       ///< units simulated by this run
+  bool resumed = false;             ///< store existed before this run
+  bool torn_tail_recovered = false; ///< a torn tail record was truncated
+};
+
+/// Run (or resume) one shard. The store at `options.store_path` is
+/// created if absent; an existing store must match the current
+/// fingerprint/shard/universe or the run is refused.
+util::StatusOr<CampaignRunStats> RunScreeningCampaign(
+    const CampaignOptions& options);
+
+/// Named ScreeningOptions presets shared by tools/campaign_run and
+/// `cmldft_cli screen`:
+///   "coverage_comparison" — exactly the bench/coverage_comparison.cc
+///       configuration, so a merged campaign reproduces its golden.
+///   "quick" — a small 2-stage universe for CI smoke and local iteration.
+util::StatusOr<core::ScreeningOptions> ScreeningPreset(std::string_view name);
+
+}  // namespace cmldft::campaign

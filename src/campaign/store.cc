@@ -1,0 +1,150 @@
+#include "campaign/store.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace cmldft::campaign {
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::string SerializeHeader(const StoreHeader& header) {
+  std::string out;
+  out.append(kStoreMagic);
+  PutU32(out, kStoreVersion);
+  PutU64(out, header.fingerprint);
+  PutU32(out, header.shard_index);
+  PutU32(out, header.shard_count);
+  PutU64(out, header.total_units);
+  PutU32(out, util::Crc32(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<StoreWriter> StoreWriter::Create(const std::string& path,
+                                                const StoreHeader& header,
+                                                int fsync_batch) {
+  auto file = util::AppendFile::Open(path, /*create=*/true, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  const std::string bytes = SerializeHeader(header);
+  StoreWriter writer(std::move(*file), fsync_batch < 1 ? 1 : fsync_batch);
+  CMLDFT_RETURN_IF_ERROR(writer.file_.Append(bytes.data(), bytes.size()));
+  CMLDFT_RETURN_IF_ERROR(writer.file_.Sync());
+  return writer;
+}
+
+util::StatusOr<StoreWriter> StoreWriter::OpenAppend(const std::string& path,
+                                                    int fsync_batch) {
+  auto file = util::AppendFile::Open(path, /*create=*/false, /*truncate=*/false);
+  if (!file.ok()) return file.status();
+  if (file->size() < kStoreHeaderBytes) {
+    return util::Status::FailedPrecondition(
+        path + ": not a campaign store (scan before appending)");
+  }
+  return StoreWriter(std::move(*file), fsync_batch < 1 ? 1 : fsync_batch);
+}
+
+util::Status StoreWriter::AppendRecord(std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxRecordBytes) {
+    return util::Status::InvalidArgument("campaign record payload size " +
+                                         std::to_string(payload.size()) +
+                                         " out of range");
+  }
+  // One contiguous append per record: the kernel applies it as a single
+  // write, so a crash between records never interleaves partial frames.
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, util::Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  CMLDFT_RETURN_IF_ERROR(file_.Append(frame.data(), frame.size()));
+  if (++unsynced_ >= fsync_batch_) {
+    CMLDFT_RETURN_IF_ERROR(file_.Sync());
+    unsynced_ = 0;
+  }
+  return util::Status::Ok();
+}
+
+util::Status StoreWriter::Flush() {
+  unsynced_ = 0;
+  return file_.Sync();
+}
+
+util::Status StoreWriter::Close() { return file_.Close(); }
+
+util::StatusOr<ScannedStore> ScanStore(const std::string& path) {
+  auto bytes_or = util::ReadFileBytes(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = *bytes_or;
+
+  if (bytes.size() < kStoreHeaderBytes) {
+    return util::Status::ParseError(
+        path + ": too short to be a campaign store (" +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::string_view(bytes.data(), kStoreMagic.size()) != kStoreMagic) {
+    return util::Status::ParseError(path + ": bad magic, not a campaign store");
+  }
+  const uint32_t version = GetU32(bytes.data() + 8);
+  if (version != kStoreVersion) {
+    return util::Status::ParseError(
+        path + ": unsupported store version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kStoreVersion) + ")");
+  }
+  const uint32_t header_crc = GetU32(bytes.data() + kStoreHeaderBytes - 4);
+  if (header_crc != util::Crc32(bytes.data(), kStoreHeaderBytes - 4)) {
+    return util::Status::ParseError(path + ": store header CRC mismatch");
+  }
+
+  ScannedStore scan;
+  scan.header.fingerprint = GetU64(bytes.data() + 12);
+  scan.header.shard_index = GetU32(bytes.data() + 20);
+  scan.header.shard_count = GetU32(bytes.data() + 24);
+  scan.header.total_units = GetU64(bytes.data() + 28);
+
+  size_t pos = kStoreHeaderBytes;
+  scan.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break;  // torn frame header
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (len == 0 || len > kMaxRecordBytes) break;        // garbage length
+    if (bytes.size() - pos - 8 < len) break;             // torn payload
+    if (util::Crc32(bytes.data() + pos + 8, len) != crc) break;  // bit rot
+    scan.records.emplace_back(bytes, pos + 8, len);
+    pos += 8 + static_cast<size_t>(len);
+    scan.valid_bytes = pos;
+  }
+  scan.torn_tail = scan.valid_bytes != bytes.size();
+  return scan;
+}
+
+util::Status RepairStore(const std::string& path, const ScannedStore& scan) {
+  if (!scan.torn_tail) return util::Status::Ok();
+  return util::TruncateFile(path, scan.valid_bytes);
+}
+
+}  // namespace cmldft::campaign

@@ -1,0 +1,94 @@
+// The `.campaign` result store: an append-only binary file that makes a
+// screening campaign crash-safe.
+//
+// Layout:
+//
+//   header (40 bytes, CRC-protected):
+//     magic "CMLCAMP1" | version u32 | fingerprint u64 |
+//     shard_index u32 | shard_count u32 | total_units u64 | header crc u32
+//   records, each:
+//     payload_len u32 | payload crc32 u32 | payload bytes (codec.h)
+//
+// All integers little-endian. The file is only ever appended to (plus a
+// single truncate during torn-tail repair), so a crash at ANY byte leaves
+// a valid prefix: ScanStore walks records until the first one whose
+// length, CRC, or payload doesn't check out, reports everything before it
+// as valid, and flags the rest as a torn tail for RepairStore to cut off.
+// Completed work is never lost; incomplete work is never trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace cmldft::campaign {
+
+inline constexpr std::string_view kStoreMagic = "CMLCAMP1";
+inline constexpr uint32_t kStoreVersion = 1;
+/// Serialized header size (see layout above).
+inline constexpr uint64_t kStoreHeaderBytes = 40;
+/// Upper bound on a single record payload; anything larger is corruption.
+inline constexpr uint32_t kMaxRecordBytes = 16u << 20;
+
+struct StoreHeader {
+  uint64_t fingerprint = 0;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint64_t total_units = 0;
+};
+
+/// Appends CRC-framed records, fsyncing every `fsync_batch` appends (and
+/// on Close). Not internally synchronized — the campaign sink serializes
+/// concurrent emitters.
+class StoreWriter {
+ public:
+  /// Start a fresh store at `path` (truncates any existing file), writing
+  /// and syncing the header before returning.
+  static util::StatusOr<StoreWriter> Create(const std::string& path,
+                                            const StoreHeader& header,
+                                            int fsync_batch = 8);
+  /// Reopen a scanned-and-repaired store for appending.
+  static util::StatusOr<StoreWriter> OpenAppend(const std::string& path,
+                                                int fsync_batch = 8);
+
+  util::Status AppendRecord(std::string_view payload);
+  /// Force an fsync of everything appended so far.
+  util::Status Flush();
+  util::Status Close();
+
+  /// Crash-injection passthrough (see util::AppendFile::SetKillAtSize).
+  void SetKillAtSize(uint64_t file_size) { file_.SetKillAtSize(file_size); }
+
+ private:
+  StoreWriter(util::AppendFile file, int fsync_batch)
+      : file_(std::move(file)), fsync_batch_(fsync_batch) {}
+
+  util::AppendFile file_;
+  int fsync_batch_;
+  int unsynced_ = 0;
+};
+
+struct ScannedStore {
+  StoreHeader header;
+  /// Record payloads in file order (framing already stripped and checked).
+  std::vector<std::string> records;
+  /// True when the file ends in an unreadable region (crash mid-write).
+  bool torn_tail = false;
+  /// Byte length of the valid prefix (header + intact records).
+  uint64_t valid_bytes = 0;
+};
+
+/// Read and validate a store. A missing file, short/corrupt header, or
+/// version/magic mismatch is a hard error; an invalid record region is
+/// tolerated only as a tail (everything before it is returned, torn_tail
+/// is set). Record *payload* contents are not decoded here.
+util::StatusOr<ScannedStore> ScanStore(const std::string& path);
+
+/// Cut a torn tail off the underlying file (no-op for a clean scan).
+util::Status RepairStore(const std::string& path, const ScannedStore& scan);
+
+}  // namespace cmldft::campaign

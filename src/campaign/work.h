@@ -1,0 +1,56 @@
+// The two seams between the screening engine and the campaign runtime.
+//
+// core::ScreenBufferChain enumerates a deterministically-ordered defect
+// universe and, by default, executes all of it in one process. A campaign
+// turns that single pass into a durable, shardable run by injecting:
+//
+//   WorkSource — decides which unit ids (indices into the stable universe
+//     ordering) *this* process executes. The campaign runner composes a
+//     shard filter (id mod shard_count == shard_index) with the set of
+//     units already completed in the result store (resume).
+//
+//   Sink — receives every completed outcome, plus the fault-free
+//     reference measurements, as they are produced. The campaign runner
+//     appends them to the crash-safe result store; the engine itself
+//     stays oblivious to files, shards, and restarts.
+//
+// Both are called from worker threads: ShouldRun must be const-thread-safe
+// (it is called concurrently with itself), and Emit must be internally
+// synchronized. Determinism contract: whatever subset a WorkSource
+// selects, each selected unit's outcome is bit-identical to the same unit
+// in a monolithic serial run — selection never changes computation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/screening.h"
+#include "util/status.h"
+
+namespace cmldft::campaign {
+
+/// Selects which units of the enumerated universe this process runs.
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+  /// Called once, after enumeration and before any ShouldRun, with the
+  /// universe size. A source that planned against a different universe
+  /// (stale store, changed options) must refuse here.
+  virtual util::Status BeginUniverse(uint64_t total_units) = 0;
+  /// True if unit `id` should execute in this process. Thread-safe, pure.
+  virtual bool ShouldRun(uint64_t id) const = 0;
+};
+
+/// Receives completed screening results. Implementations are internally
+/// synchronized; Emit is called from worker threads in completion order
+/// (which is nondeterministic — durable consumers must key by unit id).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// The fault-free reference measurements (report with empty outcomes).
+  /// Called once, before any Emit.
+  virtual util::Status EmitReference(const core::ScreeningReport& reference) = 0;
+  /// One completed unit. `id` indexes the stable universe ordering.
+  virtual util::Status Emit(uint64_t id, const core::DefectOutcome& outcome) = 0;
+};
+
+}  // namespace cmldft::campaign

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "campaign/work.h"
 #include "cml/builder.h"
 #include "sim/dc.h"
 #include "sim/transient.h"
@@ -184,8 +185,18 @@ double ScreeningReport::CombinedCoverage() const {
          static_cast<double>(CountClass(FaultClass::kAmplitudeOnly)) / total();
 }
 
+std::vector<defects::Defect> ScreeningUniverse(const ScreeningOptions& options) {
+  Instrumented circ = BuildInstrumentedChain(options);
+  // Enumerate over the *uninstrumented* device set: detectors and the
+  // fault-injection artifacts are excluded.
+  defects::EnumerationOptions eopt = options.enumeration;
+  eopt.exclude_prefixes.push_back("det");
+  return defects::EnumerateDefects(circ.nl, eopt);
+}
+
 util::StatusOr<ScreeningReport> ScreenBufferChain(
-    const ScreeningOptions& options) {
+    const ScreeningOptions& options, campaign::WorkSource* source,
+    campaign::Sink* sink) {
   const ScreeningMetrics& metrics = Metrics();
   metrics.campaigns.Increment();
   util::telemetry::ScopedTimer campaign_span(metrics.wall);
@@ -217,6 +228,20 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
   const std::vector<defects::Defect> universe =
       defects::EnumerateDefects(circ.nl, eopt);
 
+  // Campaign seams: the source narrows the universe to this process's
+  // shard/resume subset; the sink makes each outcome durable as it lands.
+  // Unit ids are indices into the stable enumeration order above.
+  std::vector<uint64_t> selected;
+  selected.reserve(universe.size());
+  if (source != nullptr) {
+    CMLDFT_RETURN_IF_ERROR(source->BeginUniverse(universe.size()));
+    for (uint64_t id = 0; id < universe.size(); ++id) {
+      if (source->ShouldRun(id)) selected.push_back(id);
+    }
+  } else {
+    for (uint64_t id = 0; id < universe.size(); ++id) selected.push_back(id);
+  }
+
   ScreeningReport report;
   report.nominal_swing = ref.primary_swing;
   report.reference_delay = ref.median_delay;
@@ -224,17 +249,23 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
   report.reference_supply_current = ref.supply_current;
   report.reference_detector_vouts = ref.detector_vouts;
 
+  if (sink != nullptr) {
+    CMLDFT_RETURN_IF_ERROR(sink->EmitReference(report));
+  }
+
   // Defect runs are embarrassingly parallel: each one copies the netlist,
   // injects its defect, and simulates a private MnaSystem. The shared
   // inputs (circ, ref, options) are read-only, and every worker writes
   // only its own outcome slot, so the sweep is deterministic for any
   // thread count.
-  std::vector<util::Status> inject_errors(universe.size(), util::Status::Ok());
+  std::vector<util::Status> inject_errors(selected.size(), util::Status::Ok());
+  std::vector<util::Status> sink_errors(selected.size(), util::Status::Ok());
   report.outcomes = util::ParallelMap<DefectOutcome>(
-      universe.size(),
+      selected.size(),
       [&](size_t d) {
         const auto start = std::chrono::steady_clock::now();
-        const defects::Defect& defect = universe[d];
+        const uint64_t unit_id = selected[d];
+        const defects::Defect& defect = universe[static_cast<size_t>(unit_id)];
         DefectOutcome outcome;
         outcome.defect = defect;
         auto faulty = defects::WithDefect(circ.nl, defect);
@@ -250,6 +281,7 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)
                   .count());
+          if (sink != nullptr) sink_errors[d] = sink->Emit(unit_id, out);
           return out;
         };
         auto run = sim::RunTransient(*faulty, topts);
@@ -287,6 +319,9 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
       },
       options.threads);
   for (const util::Status& st : inject_errors) {
+    if (!st.ok()) return st;
+  }
+  for (const util::Status& st : sink_errors) {
     if (!st.ok()) return st;
   }
   return report;

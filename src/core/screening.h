@@ -14,6 +14,11 @@
 #include "sim/options.h"
 #include "util/status.h"
 
+namespace cmldft::campaign {
+class WorkSource;
+class Sink;
+}  // namespace cmldft::campaign
+
 namespace cmldft::core {
 
 enum class FaultClass {
@@ -104,8 +109,22 @@ struct ScreeningReport {
   double CombinedCoverage() const;
 };
 
-/// Screen the full defect universe of an instrumented buffer chain.
+/// Screen the defect universe of an instrumented buffer chain.
+///
+/// By default the whole universe runs in-process and the returned report
+/// is the complete result. A campaign run injects `source` to restrict
+/// execution to a shard/resume subset and `sink` to stream every outcome
+/// (and the fault-free reference) into a durable store as it completes;
+/// the returned report then holds only the units executed *here* — the
+/// campaign merge stage reassembles the full, bit-identical report from
+/// the stores. Either pointer may be null independently.
 util::StatusOr<ScreeningReport> ScreenBufferChain(
-    const ScreeningOptions& options = {});
+    const ScreeningOptions& options = {}, campaign::WorkSource* source = nullptr,
+    campaign::Sink* sink = nullptr);
+
+/// The defect universe `ScreenBufferChain` would screen under `options`,
+/// in its stable execution order (unit id = index). Enumeration only — no
+/// simulation. Campaign planners use this for sizing and fingerprinting.
+std::vector<defects::Defect> ScreeningUniverse(const ScreeningOptions& options);
 
 }  // namespace cmldft::core

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/file_io.h"
 #include "util/strings.h"
 
 namespace cmldft::report {
@@ -370,13 +371,12 @@ util::StatusOr<Json> Json::Parse(std::string_view text) {
 }
 
 util::StatusOr<Json> ReadJsonFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return util::Status::NotFound("cannot open " + path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  auto parsed = Json::Parse(buf.str());
+  // ReadFileBytes stats first: a directory or unreadable path fails with
+  // the OS error instead of ifstream's silent empty read turning into a
+  // baffling "unexpected end of input" parse error.
+  auto bytes = util::ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  auto parsed = Json::Parse(*bytes);
   if (!parsed.ok()) {
     return util::Status(parsed.status().code(),
                         path + ": " + parsed.status().message());

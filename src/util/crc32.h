@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the campaign
+// result store: every record in a `.campaign` file carries the checksum of
+// its payload so a torn or bit-flipped record is detected on resume/merge
+// instead of silently corrupting a report. Incremental: feed chunks via
+// Update and finalize once, or use the one-shot helper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cmldft::util {
+
+/// Incrementally extend a CRC-32. Start from `Crc32Init()`, feed bytes,
+/// finish with `Crc32Final()`. The split form lets the store checksum a
+/// record assembled in pieces without concatenating buffers.
+inline constexpr uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+uint32_t Crc32Update(uint32_t state, const void* data, size_t len);
+inline constexpr uint32_t Crc32Final(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer ("123456789" -> 0xCBF43926).
+uint32_t Crc32(const void* data, size_t len);
+
+}  // namespace cmldft::util

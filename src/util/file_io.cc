@@ -1,0 +1,157 @@
+#include "util/file_io.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cmldft::util {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound(ErrnoMessage("cannot stat", path));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(path + " is a directory, not a file");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(ErrnoMessage("cannot open", path));
+  }
+  std::string out;
+  out.resize(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Internal(ErrnoMessage("read failed on", path));
+    }
+    if (n == 0) break;  // shrank underneath us; return what exists
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out.resize(got);
+  return out;
+}
+
+Status TruncateFile(const std::string& path, uint64_t new_size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(new_size)) != 0) {
+    return Status::Internal(ErrnoMessage("cannot truncate", path));
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> FileSizeOf(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound(ErrnoMessage("cannot stat", path));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+StatusOr<AppendFile> AppendFile::Open(const std::string& path, bool create,
+                                      bool truncate) {
+  int flags = O_WRONLY | O_APPEND;
+  if (create) flags |= O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::NotFound(ErrnoMessage("cannot open for append", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal(ErrnoMessage("cannot stat", path));
+  }
+  return AppendFile(fd, static_cast<uint64_t>(st.st_size));
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_), kill_at_size_(other.kill_at_size_) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    kill_at_size_ = other.kill_at_size_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("append on closed file");
+  size_t want = len;
+  bool kill_after = false;
+  if (kill_at_size_ != 0 && size_ + len > kill_at_size_) {
+    // Crash injection: land exactly at the configured size, torn record
+    // and all, then die the way `kill -9` would.
+    want = kill_at_size_ > size_ ? static_cast<size_t>(kill_at_size_ - size_) : 0;
+    kill_after = true;
+  }
+  const auto* p = static_cast<const unsigned char*>(data);
+  size_t done = 0;
+  while (done < want) {
+    const ssize_t n = ::write(fd_, p + done, want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("append failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  size_ += done;
+  if (kill_after) {
+    ::raise(SIGKILL);
+    // Unreachable in practice; keep the contract honest if SIGKILL is
+    // somehow blocked by the environment.
+    return Status::Internal("crash injection fired");
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("sync on closed file");
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("fsync failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::FailedPrecondition("double close");
+  Status st = Sync();
+  if (::close(fd_) != 0 && st.ok()) {
+    st = Status::Internal(std::string("close failed: ") + std::strerror(errno));
+  }
+  fd_ = -1;
+  return st;
+}
+
+}  // namespace cmldft::util

@@ -1,0 +1,71 @@
+// Low-level binary file I/O for the campaign result store.
+//
+// Deliberately fd-based (POSIX) rather than iostream-buffered: the store's
+// durability story depends on knowing exactly which bytes have reached the
+// file when a process dies, on fsync as an explicit batched operation, and
+// on byte-precise truncation of a torn tail record. An iostream's internal
+// buffer would make "kill -9 mid-write" unobservable and untestable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cmldft::util {
+
+/// Whole-file binary read. Refuses directories and propagates the OS
+/// error ("no such file", "permission denied") in the status message.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+/// Truncate `path` in place to `new_size` bytes (the torn-tail repair).
+Status TruncateFile(const std::string& path, uint64_t new_size);
+
+/// Size of a regular file in bytes.
+StatusOr<uint64_t> FileSizeOf(const std::string& path);
+
+/// Append-only writer over a raw file descriptor.
+///
+/// All writes go straight to the OS (no userspace buffering), so after a
+/// crash the file holds exactly the bytes whose write(2) completed; Sync
+/// additionally makes them power-loss durable. `SetKillAtSize` is the
+/// crash-injection hook used by the campaign tests and the campaign_run
+/// `--abort-after-bytes` flag: when an append would grow the file past the
+/// given size, the writer appends only the prefix up to that size and
+/// delivers SIGKILL to the process — a real mid-record torn write, not a
+/// simulation of one.
+class AppendFile {
+ public:
+  /// Opens `path` for appending. `create`: create if missing;
+  /// `truncate`: discard existing contents.
+  static StatusOr<AppendFile> Open(const std::string& path, bool create,
+                                   bool truncate);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  Status Append(const void* data, size_t len);
+  /// fsync(2) — flush OS buffers to stable storage.
+  Status Sync();
+  /// Sync then close. Further use is a programming error.
+  Status Close();
+
+  /// Current file size in bytes (start size + bytes appended).
+  uint64_t size() const { return size_; }
+
+  /// Crash-injection: SIGKILL this process the moment the file would
+  /// exceed `file_size` bytes (0 disables). See class comment.
+  void SetKillAtSize(uint64_t file_size) { kill_at_size_ = file_size; }
+
+ private:
+  AppendFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t kill_at_size_ = 0;
+};
+
+}  // namespace cmldft::util

@@ -1,0 +1,125 @@
+// Merge completed campaign shard stores into the final screening report.
+//
+//   campaign_merge [--manifest <out.json>] [--coverage-report <out.json>]
+//                  [--preset NAME] <store.campaign> [more stores ...]
+//
+// Verifies that the stores belong to one campaign (same fingerprint,
+// universe, shard plan), that every universe unit is present exactly once
+// (a truncated or unfinished shard is a hard error — coverage totals are
+// recomputed from the outcome records, never trusted from headers), and
+// that all shards agree bit-for-bit on the fault-free reference.
+//
+//   --manifest         write the campaign manifest JSON (golden-checkable)
+//   --coverage-report  write the coverage_comparison bench report derived
+//                      from the merged outcomes; with the matching preset
+//                      this is byte-identical to the monolithic bench run
+//   --preset           screening preset the campaign ran (for the
+//                      coverage report's thresholds; default
+//                      coverage_comparison)
+//
+// Exit codes: 0 = merged, 1 = merge refused (incomplete/corrupt/foreign
+// stores) or write failure, 2 = usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/paper_bench.h"
+#include "campaign/manifest.h"
+#include "campaign/merge.h"
+#include "campaign/runner.h"
+#include "report/json.h"
+#include "report/report.h"
+
+using namespace cmldft;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--manifest <out.json>] [--coverage-report "
+               "<out.json>] [--preset NAME] <store.campaign> [more ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string coverage_path;
+  std::string preset = "coverage_comparison";
+  std::vector<std::string> stores;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--manifest") {
+      manifest_path = next("--manifest");
+    } else if (arg == "--coverage-report") {
+      coverage_path = next("--coverage-report");
+    } else if (arg == "--preset") {
+      preset = next("--preset");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      stores.push_back(arg);
+    }
+  }
+  if (stores.empty()) {
+    std::fprintf(stderr, "%s: no campaign stores given\n", argv[0]);
+    return Usage(argv[0]);
+  }
+
+  auto merged = campaign::MergeCampaignStores(stores);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  const core::ScreeningReport& rep = merged->report;
+  std::printf("merged %zu store(s): %llu units, fingerprint %016llx\n",
+              stores.size(),
+              static_cast<unsigned long long>(merged->total_units),
+              static_cast<unsigned long long>(merged->fingerprint));
+  for (int c = 0; c < core::kNumFaultClasses; ++c) {
+    const auto fc = static_cast<core::FaultClass>(c);
+    std::printf("  %-14s : %d\n",
+                std::string(core::FaultClassName(fc)).c_str(),
+                rep.CountClass(fc));
+  }
+  std::printf("coverage: conventional %.1f%%, with detectors %.1f%%\n",
+              rep.ConventionalCoverage() * 100, rep.CombinedCoverage() * 100);
+
+  if (!manifest_path.empty()) {
+    const report::Report manifest = campaign::BuildCampaignManifest(*merged);
+    util::Status st = report::WriteJsonFile(manifest_path, manifest.ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!coverage_path.empty()) {
+    auto opt = campaign::ScreeningPreset(preset);
+    if (!opt.ok()) {
+      std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+      return 2;
+    }
+    report::Report cover(bench::kCoverageComparisonExperiment,
+                         bench::kCoverageComparisonPaperRef,
+                         bench::kCoverageComparisonSummary);
+    bench::FillCoverageComparisonReport(rep, *opt, cover);
+    util::Status st = report::WriteJsonFile(coverage_path, cover.ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

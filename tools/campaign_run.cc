@@ -1,0 +1,149 @@
+// Run (or resume) one shard of a durable defect-screening campaign.
+//
+//   campaign_run --store <path.campaign> [--shard i/N] [--preset NAME]
+//                [--resume] [--overwrite] [--threads N] [--fsync-batch N]
+//                [--telemetry <path.json>] [--abort-after-bytes N]
+//
+// The store is an append-only, CRC-checked binary file (docs/campaign.md):
+// `kill -9` at any instant leaves a valid prefix, and rerunning the same
+// command with --resume continues where the file ends — completed defects
+// are never re-simulated. When every shard's store is complete,
+// campaign_merge reassembles the monolithic report bit-identically.
+//
+// An existing store is only touched when --resume (continue it) or
+// --overwrite (discard it) says so; presets: coverage_comparison, quick.
+// --abort-after-bytes is the crash-injection hook used by tests and CI:
+// the process SIGKILLs itself mid-write once the store reaches that size.
+//
+// Exit codes: 0 = shard complete, 1 = screening/store failure,
+// 2 = usage error (bad flags, store/flag mismatch).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "report/telemetry_json.h"
+#include "util/file_io.h"
+#include "util/telemetry.h"
+
+using namespace cmldft;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --store <path.campaign> [--shard i/N] [--preset NAME]\n"
+      "          [--resume] [--overwrite] [--threads N] [--fsync-batch N]\n"
+      "          [--telemetry <path.json>] [--abort-after-bytes N]\n"
+      "presets: coverage_comparison (default), quick\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  std::string shard_spec = "0/1";
+  std::string preset = "coverage_comparison";
+  std::string telemetry_path;
+  bool resume = false;
+  bool overwrite = false;
+  int threads = 0;
+  int fsync_batch = 8;
+  unsigned long long abort_at_bytes = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--store") {
+      store_path = next("--store");
+    } else if (arg == "--shard") {
+      shard_spec = next("--shard");
+    } else if (arg == "--preset") {
+      preset = next("--preset");
+    } else if (arg == "--telemetry") {
+      telemetry_path = next("--telemetry");
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--overwrite") {
+      overwrite = true;
+    } else if (arg == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (arg == "--fsync-batch") {
+      fsync_batch = std::atoi(next("--fsync-batch"));
+    } else if (arg == "--abort-after-bytes") {
+      abort_at_bytes = std::strtoull(next("--abort-after-bytes"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (store_path.empty()) {
+    std::fprintf(stderr, "%s: --store is required\n", argv[0]);
+    return Usage(argv[0]);
+  }
+
+  campaign::CampaignOptions opt;
+  auto screening = campaign::ScreeningPreset(preset);
+  if (!screening.ok()) {
+    std::fprintf(stderr, "%s\n", screening.status().ToString().c_str());
+    return 2;
+  }
+  opt.screening = *screening;
+  opt.screening.threads = threads;
+  auto shard = campaign::ParseShardSpec(shard_spec);
+  if (!shard.ok()) {
+    std::fprintf(stderr, "%s\n", shard.status().ToString().c_str());
+    return 2;
+  }
+  opt.shard = *shard;
+  opt.store_path = store_path;
+  opt.fsync_batch = fsync_batch;
+  opt.abort_at_bytes = abort_at_bytes;
+
+  const bool store_exists = util::FileSizeOf(store_path).ok();
+  if (store_exists && !resume && !overwrite) {
+    std::fprintf(stderr,
+                 "%s: store %s already exists — pass --resume to continue the "
+                 "campaign or --overwrite to discard it\n",
+                 argv[0], store_path.c_str());
+    return 2;
+  }
+  if (store_exists && overwrite) {
+    std::remove(store_path.c_str());
+  }
+
+  auto stats = campaign::RunScreeningCampaign(opt);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "campaign shard failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shard %s of %llu-unit universe: %llu unit(s) in shard, "
+              "%llu resumed, %llu executed%s\n",
+              opt.shard.ToString().c_str(),
+              static_cast<unsigned long long>(stats->total_units),
+              static_cast<unsigned long long>(stats->shard_units),
+              static_cast<unsigned long long>(stats->resumed_skips),
+              static_cast<unsigned long long>(stats->executed),
+              stats->torn_tail_recovered ? " (torn tail truncated)" : "");
+
+  if (!telemetry_path.empty()) {
+    util::Status st = report::WriteTelemetrySnapshotFile(
+        telemetry_path, util::telemetry::Capture());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
