@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "bench/paper_bench.h"
@@ -18,6 +20,8 @@
 #include "linalg/lu.h"
 #include "linalg/sparse.h"
 #include "sim/dc.h"
+#include "sim/mna.h"
+#include "sim/transient.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -185,6 +189,78 @@ void BM_StuckAtFaultSim(benchmark::State& state) {
 BENCHMARK(BM_StuckAtFaultSim)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// Raw MNA assembly cost on the BM_DcOperatingPoint/32 system (133
+// unknowns): compiled stamp plan vs the legacy hash-and-branch path, in
+// dense and sparse routing. Plan and legacy produce bit-identical
+// Jacobians/RHS (tests/stamp_plan_test.cc); this measures only the cost
+// delta. Mode 2 additionally enables device bypass with an unchanged
+// iterate — the converged-Newton steady state that latency exploitation
+// targets, where every device replays its cached contribution.
+void BM_Assemble(benchmark::State& state) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialDc("in", true);
+  cells.AddBufferChain("x", in, 32);
+  sim::MnaSystem mna(nl);
+  mna.set_mode(netlist::AnalysisMode::kDcOperatingPoint);
+  mna.set_initializing_state(true);
+  const int mode = static_cast<int>(state.range(0));  // 0 legacy, 1 plan, 2 plan+bypass
+  const bool sparse = state.range(1) != 0;
+  mna.set_stamp_plan_mode(mode == 0 ? sim::MnaSystem::StampPlanMode::kOff
+                                    : sim::MnaSystem::StampPlanMode::kForce);
+  if (mode >= 2) {
+    mna.set_bypass(true, sim::NewtonOptions().bypass_reltol,
+                   sim::NewtonOptions().bypass_abstol);
+  }
+  mna.set_sparse(sparse);
+  linalg::Vector x(static_cast<size_t>(mna.num_unknowns()), 0.0);
+  for (auto _ : state) {
+    mna.Assemble(x);
+    benchmark::DoNotOptimize(mna.rhs().data());
+  }
+  static const char* kModes[] = {"legacy", "plan", "plan+bypass"};
+  state.SetLabel(std::string(kModes[mode]) + "/" +
+                 (sparse ? "sparse" : "dense"));
+}
+BENCHMARK(BM_Assemble)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
+// End-to-end transient on a 16-buffer clocked chain (above the Jacobian
+// reuse economics gate) with the opt-in Newton fast path staged in:
+// exact -> device bypass -> bypass + Jacobian reuse (see NewtonOptions;
+// results are tolerance-equivalent, covered by tests/equivalence_test.cc).
+void BM_TransientFastPath(benchmark::State& state) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialClock("in", 100e6);
+  // Same 32-buffer chain (133 unknowns) as BM_Assemble: large enough that
+  // the dense kAuto solver is used and the Jacobian-reuse economics gate
+  // (jacobian_reuse_min_unknowns) is open.
+  cells.AddBufferChain("x", in, 32);
+  sim::TransientOptions opts;
+  opts.tstop = 10e-9;
+  const int mode = static_cast<int>(state.range(0));
+  if (mode >= 1) opts.dc.newton.bypass = true;
+  if (mode >= 2) opts.dc.newton.jacobian_reuse = true;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = sim::RunTransient(nl, opts);
+    if (!r.ok()) state.SkipWithError("transient failed");
+    steps += r->stats().accepted_steps;
+  }
+  state.SetItemsProcessed(steps);
+  state.SetLabel(mode == 0 ? "exact"
+                           : (mode == 1 ? "bypass" : "bypass+jac_reuse"));
+}
+BENCHMARK(BM_TransientFastPath)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_DcSolverComparison(benchmark::State& state) {
   // 32-buffer chain (133 unknowns) with the solver forced each way.
   netlist::Netlist nl;
@@ -206,4 +282,36 @@ BENCHMARK(BM_DcSolverComparison)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): perf numbers from a build with
+// assertions enabled are meaningless (the first committed BENCH_perf.json
+// was captured that way by accident), so the binary tags every JSON report
+// with the build type and refuses to run without NDEBUG unless
+// CMLDFT_ALLOW_DEBUG_BENCH=1 is set (ctest sets it so the regression
+// tier's *structural* check still works in Debug configurations).
+int main(int argc, char** argv) {
+#ifdef CMLDFT_BUILD_TYPE
+  benchmark::AddCustomContext("cmldft_build_type", CMLDFT_BUILD_TYPE);
+#else
+  benchmark::AddCustomContext("cmldft_build_type", "unknown");
+#endif
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cmldft_assertions", "disabled");
+#else
+  benchmark::AddCustomContext("cmldft_assertions", "enabled");
+  std::fprintf(stderr,
+               "perf_simulator: WARNING: assertions are enabled (non-release "
+               "build) — timings are not comparable to release baselines.\n");
+  if (std::getenv("CMLDFT_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "perf_simulator: refusing to benchmark a debug build; "
+                 "rebuild with -DCMAKE_BUILD_TYPE=Release or set "
+                 "CMLDFT_ALLOW_DEBUG_BENCH=1 to override.\n");
+    return 1;
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

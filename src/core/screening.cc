@@ -208,6 +208,10 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
 
   sim::TransientOptions topts;
   topts.tstop = options.sim_time;
+  if (options.fast_newton) {
+    topts.dc.newton.bypass = true;
+    topts.dc.newton.jacobian_reuse = true;
+  }
   const double t0 = options.sim_time * 0.5;
   const double t1 = options.sim_time;
 
@@ -253,6 +257,17 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
     CMLDFT_RETURN_IF_ERROR(sink->EmitReference(report));
   }
 
+  // Defect runs optionally seed their t=0 operating point from the
+  // fault-free bias (node-id indexed, so it survives defect-injected node
+  // splits). A failure here only loses the warm start, never the screen.
+  sim::TransientOptions defect_topts = topts;
+  if (options.warm_start) {
+    auto ff_dc = sim::SolveDc(circ.nl, topts.dc);
+    if (ff_dc.ok()) {
+      defect_topts.initial_node_voltages = std::move(ff_dc.value().node_voltages);
+    }
+  }
+
   // Defect runs are embarrassingly parallel: each one copies the netlist,
   // injects its defect, and simulates a private MnaSystem. The shared
   // inputs (circ, ref, options) are read-only, and every worker writes
@@ -284,7 +299,7 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
           if (sink != nullptr) sink_errors[d] = sink->Emit(unit_id, out);
           return out;
         };
-        auto run = sim::RunTransient(*faulty, topts);
+        auto run = sim::RunTransient(*faulty, defect_topts);
         if (!run.ok()) {
           // Never drop a failed defect run on the floor: keep the solver
           // error, and probe the DC operating point to split "the defect

@@ -65,6 +65,18 @@ struct ScreeningOptions {
   /// simulates an independent netlist copy, so classifications are
   /// bit-identical for any thread count.
   int threads = 0;
+  /// Newton fast path for the simulations (device bypass + Jacobian reuse;
+  /// see docs/performance.md "Newton fast path"). Solutions are
+  /// tolerance-equivalent, not bit-identical, to the exact path — default
+  /// off so golden waveforms stay byte-stable. Thread-count determinism is
+  /// unaffected either way (each defect still solves independently).
+  bool fast_newton = false;
+  /// Warm-start every defect transient's t=0 operating point from the
+  /// fault-free DC solution (most defects only perturb the bias locally,
+  /// so the homotopy usually collapses to one plain Newton solve). Changes
+  /// iterate trajectories only, not the converged-solution tolerances;
+  /// default off.
+  bool warm_start = false;
 };
 
 struct DefectOutcome {

@@ -31,6 +31,7 @@ SparseBuilder::SparseBuilder(size_t n) : n_(n), rows_(n) {}
 
 void SparseBuilder::Clear() {
   for (auto& row : rows_) row.clear();
+  ++pattern_version_;
 }
 
 void SparseBuilder::Add(size_t row, size_t col, double value) {
@@ -44,7 +45,18 @@ void SparseBuilder::Add(size_t row, size_t col, double value) {
     it->second += value;
   } else {
     r.insert(it, {col, value});
+    ++pattern_version_;
   }
+}
+
+double* SparseBuilder::SlotPointer(size_t row, size_t col) {
+  assert(row < n_ && col < n_);
+  auto& r = rows_[row];
+  auto it = std::lower_bound(
+      r.begin(), r.end(), col,
+      [](const std::pair<size_t, double>& e, size_t c) { return e.first < c; });
+  if (it == r.end() || it->first != col) return nullptr;
+  return &it->second;
 }
 
 size_t SparseBuilder::num_entries() const {

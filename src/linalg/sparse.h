@@ -34,6 +34,17 @@ class SparseBuilder {
   /// Number of stored (structurally nonzero) entries.
   size_t num_entries() const;
 
+  /// Monotonic stamp of the *structure* (which (row, col) slots exist).
+  /// Bumped by Clear() and by any Add() that inserts a new slot; value
+  /// accumulation leaves it unchanged. Compiled assembly plans cache raw
+  /// value pointers and use this to detect that their pattern is stale.
+  uint64_t pattern_version() const { return pattern_version_; }
+
+  /// Stable pointer to the value of slot (row, col), or nullptr when the
+  /// slot is not part of the current pattern. Never inserts. The pointer
+  /// stays valid until the next structural change (see pattern_version()).
+  double* SlotPointer(size_t row, size_t col);
+
   /// Densify (for testing / small systems).
   Matrix ToDense() const;
 
@@ -48,6 +59,7 @@ class SparseBuilder {
  private:
   friend class SparseLu;
   size_t n_;
+  uint64_t pattern_version_ = 0;
   // Per-row sorted maps keep iteration deterministic; rows are tiny.
   std::vector<std::vector<std::pair<size_t, double>>> rows_;
 };

@@ -42,6 +42,15 @@ class Device {
   virtual bool is_nonlinear() const { return false; }
 
   /// Load the device's linearized companion model at the present iterate.
+  ///
+  /// Contract required by the compiled stamp plan (sim/mna.h): the
+  /// *sequence* of Add*/SetState calls — their destinations and order —
+  /// must be a pure function of the netlist topology and the analysis
+  /// context, never of the iterate. Only the stamped *values* may depend
+  /// on the iterate. A context change may alter the sequence (e.g. charge
+  /// companions joining in transient mode) as long as it changes the call
+  /// count too; replay detects that per device and re-records. Debug
+  /// builds additionally verify every destination against the plan.
   virtual void Stamp(StampContext& ctx) const = 0;
 
   /// Deep copy (for building faulty variants of a circuit).
@@ -50,9 +59,23 @@ class Device {
   /// One-word device kind for reports ("resistor", "bjt", ...).
   virtual std::string_view kind() const = 0;
 
+  /// True when Stamp() reads analysis context beyond the iterate (time,
+  /// source scale, mode, ...). Linear context-free devices (resistors,
+  /// controlled sources) keep the default: their stamps are constant for
+  /// the lifetime of an analysis, which the assembly fast path exploits.
+  /// Nonlinear or state-carrying devices are context-dependent implicitly.
+  virtual bool has_context_dependent_stamp() const { return false; }
+
+  /// Position of this device in its owning netlist's stable device order
+  /// (-1 while unowned). Maintained by Netlist; MNA systems use it as a
+  /// dense per-device index instead of hashing device pointers.
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int ordinal) { ordinal_ = ordinal; }
+
  private:
   std::string name_;
   std::vector<NodeId> nodes_;
+  int ordinal_ = -1;
 };
 
 }  // namespace cmldft::netlist

@@ -65,6 +65,7 @@ Device* Netlist::AddDevice(std::unique_ptr<Device> device) {
          "duplicate device name");
   Device* raw = device.get();
   device_index_[device->name()] = devices_.size();
+  raw->set_ordinal(static_cast<int>(devices_.size()));
   devices_.push_back(std::move(device));
   return raw;
 }
@@ -91,6 +92,9 @@ util::Status Netlist::RemoveDevice(const std::string& name) {
   for (auto& [dev_name, idx] : device_index_) {
     (void)dev_name;
     if (idx > pos) --idx;
+  }
+  for (size_t i = pos; i < devices_.size(); ++i) {
+    devices_[i]->set_ordinal(static_cast<int>(i));
   }
   return util::Status::Ok();
 }

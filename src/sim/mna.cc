@@ -1,18 +1,44 @@
 #include "sim/mna.h"
 
 #include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/telemetry.h"
 
 namespace cmldft::sim {
 
 using netlist::Device;
 using netlist::NodeId;
 
+namespace {
+struct AssemblyMetrics {
+  util::telemetry::Counter plan_compiles =
+      util::telemetry::GetCounter("sim.assembly.plan_compiles");
+  util::telemetry::Counter plan_mismatches =
+      util::telemetry::GetCounter("sim.assembly.plan_mismatches");
+  util::telemetry::Counter bypass_hits =
+      util::telemetry::GetCounter("sim.newton.bypass_hits");
+};
+const AssemblyMetrics& Metrics() {
+  static const AssemblyMetrics m;
+  return m;
+}
+// Register at load time so snapshots list these metrics even when no
+// assembly ran — the telemetry schema must not depend on code paths.
+[[maybe_unused]] const AssemblyMetrics& kEagerRegistration = Metrics();
+}  // namespace
+
 MnaSystem::MnaSystem(const netlist::Netlist& netlist) : netlist_(&netlist) {
+  num_devices_ = netlist.num_devices();
   num_node_unknowns_ = netlist.num_nodes() - 1;  // ground excluded
   int branch_cursor = num_node_unknowns_;
   int state_cursor = 0;
-  netlist.ForEachDevice([&](const Device& dev) {
-    DeviceSlots s;
+  slots_.resize(static_cast<size_t>(num_devices_));
+  for (int i = 0; i < num_devices_; ++i) {
+    const Device& dev = netlist.device(i);
+    assert(dev.ordinal() == i && "netlist device ordinals out of sync");
+    DeviceSlots& s = slots_[static_cast<size_t>(i)];
     if (dev.num_branches() > 0) {
       s.branch_offset = branch_cursor;
       branch_cursor += dev.num_branches();
@@ -21,8 +47,7 @@ MnaSystem::MnaSystem(const netlist::Netlist& netlist) : netlist_(&netlist) {
       s.state_offset = state_cursor;
       state_cursor += dev.num_states();
     }
-    slots_[&dev] = s;
-  });
+  }
   num_unknowns_ = branch_cursor;
   num_states_ = state_cursor;
   jacobian_ = linalg::Matrix(static_cast<size_t>(num_unknowns_),
@@ -33,9 +58,12 @@ MnaSystem::MnaSystem(const netlist::Netlist& netlist) : netlist_(&netlist) {
 }
 
 const MnaSystem::DeviceSlots& MnaSystem::SlotsOf(const Device& dev) const {
-  auto it = slots_.find(&dev);
-  assert(it != slots_.end() && "device not part of this MNA system");
-  return it->second;
+  const int i = dev.ordinal();
+  assert(i >= 0 && i < static_cast<int>(slots_.size()) &&
+         "device not part of this MNA system");
+  assert(&netlist_->device(i) == &dev &&
+         "device ordinal does not match this system's netlist");
+  return slots_[static_cast<size_t>(i)];
 }
 
 int MnaSystem::UnknownOfNode(NodeId node) const {
@@ -56,22 +84,246 @@ void MnaSystem::set_sparse(bool sparse) {
   }
 }
 
+void MnaSystem::set_stamp_plan_mode(StampPlanMode mode) {
+  plan_mode_ = mode;
+  if (mode == StampPlanMode::kOff) plan_ready_ = false;
+}
+
+void MnaSystem::set_bypass(bool enabled, double reltol, double abstol) {
+  if (enabled && !bypass_) {
+    // Re-enabling: drop caches captured before bypass was last disabled;
+    // their values were not refreshed while it was off.
+    std::fill(cache_valid_.begin(), cache_valid_.end(), 0);
+  }
+  bypass_ = enabled;
+  bypass_reltol_ = reltol;
+  bypass_abstol_ = abstol;
+}
+
+void MnaSystem::InvalidateDeviceCaches() {
+  ++stamp_epoch_;
+  std::fill(cache_valid_.begin(), cache_valid_.end(), 0);
+}
+
 void MnaSystem::Assemble(const linalg::Vector& iterate) {
   assert(static_cast<int>(iterate.size()) == num_unknowns_);
+  assert(netlist_->num_devices() == num_devices_ &&
+         "netlist devices changed after MnaSystem construction");
   iterate_ = &iterate;
+  const bool use_plan =
+      plan_mode_ == StampPlanMode::kForce ||
+      (plan_mode_ == StampPlanMode::kAuto && (sparse_ || bypass_));
+  if (use_plan) {
+    const bool replayable =
+        plan_ready_ && plan_sparse_ == sparse_ &&
+        (!sparse_ || sparse_jac_.pattern_version() == plan_pattern_version_);
+    if (!replayable || !ReplayAssemble()) RecordAssemble();
+  } else {
+    LegacyAssemble();
+  }
+  iterate_ = nullptr;
+}
+
+void MnaSystem::LegacyAssemble() {
   if (sparse_) {
     sparse_jac_.Clear();
   } else {
     jacobian_.Fill(0.0);
   }
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
-  netlist_->ForEachDevice([&](const Device& dev) { dev.Stamp(*this); });
-  iterate_ = nullptr;
+  for (int i = 0; i < num_devices_; ++i) netlist_->device(i).Stamp(*this);
 }
 
-void MnaSystem::RotateStates() { prev_states_ = curr_states_; }
+void MnaSystem::RecordAssemble() {
+  phase_ = AssemblyPhase::kRecording;
+  plan_ready_ = false;
+  rec_mat_.clear();
+  rhs_plan_.clear();
+  state_plan_.clear();
+  spans_.assign(static_cast<size_t>(num_devices_), DeviceSpan{});
+  if (sparse_) {
+    sparse_jac_.Clear();
+  } else {
+    jacobian_.Fill(0.0);
+  }
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  for (int i = 0; i < num_devices_; ++i) {
+    DeviceSpan& span = spans_[static_cast<size_t>(i)];
+    span.mat_begin = static_cast<uint32_t>(rec_mat_.size());
+    span.rhs_begin = static_cast<uint32_t>(rhs_plan_.size());
+    span.state_begin = static_cast<uint32_t>(state_plan_.size());
+    netlist_->device(i).Stamp(*this);
+    span.mat_end = static_cast<uint32_t>(rec_mat_.size());
+    span.rhs_end = static_cast<uint32_t>(rhs_plan_.size());
+    span.state_end = static_cast<uint32_t>(state_plan_.size());
+  }
+  phase_ = AssemblyPhase::kLegacy;
+  CompilePlan();
+}
 
-void MnaSystem::ResetCurrentStates() { curr_states_ = prev_states_; }
+void MnaSystem::CompilePlan() {
+  const size_t n = static_cast<size_t>(num_unknowns_);
+  mat_plan_.resize(rec_mat_.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(rec_mat_.size() * 2);
+  for (size_t k = 0; k < rec_mat_.size(); ++k) {
+    const auto [r, c] = rec_mat_[k];
+    double* target =
+        sparse_ ? sparse_jac_.SlotPointer(static_cast<size_t>(r),
+                                          static_cast<size_t>(c))
+                : jacobian_.data() + static_cast<size_t>(r) * n +
+                      static_cast<size_t>(c);
+    assert(target != nullptr && "recorded slot missing from sparse pattern");
+    if (target == nullptr) return;  // leave plan_ready_ false
+    const bool first =
+        seen.insert(static_cast<uint64_t>(r) * n + static_cast<uint64_t>(c))
+            .second;
+    mat_plan_[k] = MatrixWrite{target, PackRc(r, c) | (first ? kAssignBit : 0)};
+  }
+  // Sentinels (see the header): a key/row no stamp can produce terminates
+  // each stream so the replay path needs no bounds checks.
+  mat_plan_.push_back(MatrixWrite{nullptr, ~0ull});
+  rhs_plan_.push_back(-1);
+  state_plan_.push_back(-1);
+
+  device_class_.resize(static_cast<size_t>(num_devices_));
+  input_cache_offset_.resize(static_cast<size_t>(num_devices_) + 1);
+  input_unknowns_.clear();
+  for (int i = 0; i < num_devices_; ++i) {
+    const Device& dev = netlist_->device(i);
+    if (!dev.is_nonlinear() && dev.num_states() == 0) {
+      device_class_[static_cast<size_t>(i)] =
+          dev.has_context_dependent_stamp() ? DeviceClass::kContextStatic
+                                            : DeviceClass::kPure;
+    } else {
+      device_class_[static_cast<size_t>(i)] = DeviceClass::kDynamic;
+    }
+    input_cache_offset_[static_cast<size_t>(i)] =
+        static_cast<uint32_t>(input_unknowns_.size());
+    for (int t = 0; t < dev.num_terminals(); ++t) {
+      input_unknowns_.push_back(static_cast<int32_t>(UnknownOfNode(dev.node(t))));
+    }
+    const DeviceSlots& s = slots_[static_cast<size_t>(i)];
+    for (int b = 0; b < dev.num_branches(); ++b) {
+      input_unknowns_.push_back(static_cast<int32_t>(s.branch_offset + b));
+    }
+  }
+  input_cache_offset_[static_cast<size_t>(num_devices_)] =
+      static_cast<uint32_t>(input_unknowns_.size());
+  input_cache_.assign(input_unknowns_.size(), 0.0);
+  mat_vals_.assign(rec_mat_.size(), 0.0);
+  rhs_vals_.assign(rhs_plan_.size() - 1, 0.0);
+  state_vals_.assign(state_plan_.size() - 1, 0.0);
+  cache_valid_.assign(static_cast<size_t>(num_devices_), 0);
+  cache_epoch_.assign(static_cast<size_t>(num_devices_), 0);
+
+  plan_sparse_ = sparse_;
+  plan_assign_bias_ = sparse_ ? -0.0 : 0.0;
+  plan_pattern_version_ = sparse_ ? sparse_jac_.pattern_version() : 0;
+  plan_ready_ = true;
+  Metrics().plan_compiles.Increment();
+}
+
+bool MnaSystem::ReplayAssemble() {
+  phase_ = AssemblyPhase::kReplaying;
+  plan_mismatch_ = false;
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  mat_cursor_ = rhs_cursor_ = state_cursor_ = 0;
+  uint64_t bypass_hits = 0;
+  for (int i = 0; i < num_devices_; ++i) {
+    const DeviceSpan& span = spans_[static_cast<size_t>(i)];
+    if (bypass_ && CanBypass(static_cast<size_t>(i))) {
+      ReplayFromCache(span);
+      ++bypass_hits;
+      continue;
+    }
+    netlist_->device(i).Stamp(*this);
+    // A device may legitimately take a different conditional stamp path
+    // than the recorded one (e.g. a charge companion crossing zero); the
+    // per-call checks catch wrong destinations, the span check catches a
+    // shorter call sequence.
+    if (plan_mismatch_ || mat_cursor_ != span.mat_end ||
+        rhs_cursor_ != span.rhs_end || state_cursor_ != span.state_end) {
+      plan_mismatch_ = true;
+      break;
+    }
+    if (bypass_) CaptureCache(static_cast<size_t>(i));
+  }
+  phase_ = AssemblyPhase::kLegacy;
+  if (bypass_hits > 0) Metrics().bypass_hits.Add(bypass_hits);
+  if (plan_mismatch_) {
+    plan_ready_ = false;
+    Metrics().plan_mismatches.Increment();
+    return false;
+  }
+  return true;
+}
+
+bool MnaSystem::CanBypass(size_t index) const {
+  if (!cache_valid_[index]) return false;
+  const DeviceClass cls = device_class_[index];
+  if (cls == DeviceClass::kPure) return true;
+  if (cache_epoch_[index] != stamp_epoch_) return false;
+  if (cls == DeviceClass::kContextStatic) return true;
+  // Dynamic device: every input unknown must sit within the bypass
+  // tolerance of where it was when the cache was captured.
+  const linalg::Vector& x = *iterate_;
+  const uint32_t begin = input_cache_offset_[index];
+  const uint32_t end = input_cache_offset_[index + 1];
+  for (uint32_t k = begin; k < end; ++k) {
+    const int32_t u = input_unknowns_[k];
+    const double v = u < 0 ? 0.0 : x[static_cast<size_t>(u)];
+    const double cached = input_cache_[k];
+    if (std::fabs(v - cached) >
+        bypass_abstol_ + bypass_reltol_ * std::fabs(cached)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MnaSystem::ReplayFromCache(const DeviceSpan& span) {
+  for (uint32_t k = span.mat_begin; k < span.mat_end; ++k) {
+    const MatrixWrite& e = mat_plan_[k];
+    const double v = mat_vals_[k];
+    if (e.key & kAssignBit) {
+      *e.target = v + plan_assign_bias_;
+    } else {
+      *e.target += v;
+    }
+  }
+  for (uint32_t k = span.rhs_begin; k < span.rhs_end; ++k) {
+    rhs_[static_cast<size_t>(rhs_plan_[k])] += rhs_vals_[k];
+  }
+  for (uint32_t k = span.state_begin; k < span.state_end; ++k) {
+    curr_states_[static_cast<size_t>(state_plan_[k])] = state_vals_[k];
+  }
+  mat_cursor_ = span.mat_end;
+  rhs_cursor_ = span.rhs_end;
+  state_cursor_ = span.state_end;
+}
+
+void MnaSystem::CaptureCache(size_t index) {
+  const linalg::Vector& x = *iterate_;
+  const uint32_t begin = input_cache_offset_[index];
+  const uint32_t end = input_cache_offset_[index + 1];
+  for (uint32_t k = begin; k < end; ++k) {
+    const int32_t u = input_unknowns_[k];
+    input_cache_[k] = u < 0 ? 0.0 : x[static_cast<size_t>(u)];
+  }
+  cache_epoch_[index] = stamp_epoch_;
+  cache_valid_[index] = 1;
+}
+
+void MnaSystem::RotateStates() {
+  prev_states_ = curr_states_;
+  ++stamp_epoch_;  // stateful device stamps depend on previous state
+}
+
+void MnaSystem::ResetCurrentStates() {
+  curr_states_ = prev_states_;
+  ++stamp_epoch_;
+}
 
 double MnaSystem::V(NodeId n) const {
   assert(iterate_ != nullptr && "V() outside Assemble()");
@@ -84,21 +336,72 @@ double MnaSystem::BranchCurrent(const Device& dev, int slot) const {
   return (*iterate_)[static_cast<size_t>(UnknownOfBranch(dev, slot))];
 }
 
+void MnaSystem::StampMatrix(int r, int c, double v) {
+  if (phase_ == AssemblyPhase::kReplaying) {
+    const MatrixWrite& e = mat_plan_[mat_cursor_];
+    // The sentinel's null target stops a device that stamps past its
+    // recorded span. Release builds rely on that plus the per-device call
+    // count checks — sufficient because stamp destinations are a pure
+    // function of topology and context (contract on Device::Stamp); debug
+    // builds verify every destination.
+    if (e.target == nullptr) {
+      plan_mismatch_ = true;
+      return;
+    }
+#ifndef NDEBUG
+    if ((e.key & ~kAssignBit) != PackRc(r, c)) {
+      plan_mismatch_ = true;
+      return;
+    }
+#endif
+    if (bypass_) mat_vals_[mat_cursor_] = v;
+    ++mat_cursor_;
+    if (e.key & kAssignBit) {
+      // First touch of this slot: store instead of accumulating so replay
+      // can skip re-zeroing the matrix; the bias reproduces the backend's
+      // legacy signed-zero behavior (see MatrixWrite in the header).
+      *e.target = v + plan_assign_bias_;
+    } else {
+      *e.target += v;
+    }
+    return;
+  }
+  if (phase_ == AssemblyPhase::kRecording) rec_mat_.push_back({r, c});
+  if (sparse_) {
+    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), v);
+  } else {
+    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += v;
+  }
+}
+
+void MnaSystem::StampRhs(int r, double v) {
+  if (phase_ == AssemblyPhase::kReplaying) {
+    if (rhs_plan_[rhs_cursor_] != static_cast<int32_t>(r)) {
+      plan_mismatch_ = true;  // includes the -1 sentinel past the end
+      return;
+    }
+    if (bypass_) rhs_vals_[rhs_cursor_] = v;
+    ++rhs_cursor_;
+    rhs_[static_cast<size_t>(r)] += v;
+    return;
+  }
+  if (phase_ == AssemblyPhase::kRecording) {
+    rhs_plan_.push_back(static_cast<int32_t>(r));
+  }
+  rhs_[static_cast<size_t>(r)] += v;
+}
+
 void MnaSystem::AddNodeMatrix(NodeId row, NodeId col, double g) {
   const int r = UnknownOfNode(row);
   const int c = UnknownOfNode(col);
   if (r < 0 || c < 0) return;
-  if (sparse_) {
-    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), g);
-  } else {
-    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += g;
-  }
+  StampMatrix(r, c, g);
 }
 
 void MnaSystem::AddNodeRhs(NodeId row, double value) {
   const int r = UnknownOfNode(row);
   if (r < 0) return;
-  rhs_[static_cast<size_t>(r)] += value;
+  StampRhs(r, value);
 }
 
 void MnaSystem::AddBranchNodeMatrix(const Device& dev, int slot, NodeId col,
@@ -106,37 +409,33 @@ void MnaSystem::AddBranchNodeMatrix(const Device& dev, int slot, NodeId col,
   const int r = UnknownOfBranch(dev, slot);
   const int c = UnknownOfNode(col);
   if (c < 0) return;
-  if (sparse_) {
-    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), value);
-  } else {
-    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += value;
-  }
+  StampMatrix(r, c, value);
 }
 
 void MnaSystem::AddNodeBranchMatrix(NodeId row, const Device& dev, int slot,
                                     double value) {
   const int r = UnknownOfNode(row);
   if (r < 0) return;
-  const int c = UnknownOfBranch(dev, slot);
-  if (sparse_) {
-    sparse_jac_.Add(static_cast<size_t>(r), static_cast<size_t>(c), value);
-  } else {
-    jacobian_(static_cast<size_t>(r), static_cast<size_t>(c)) += value;
-  }
+  StampMatrix(r, UnknownOfBranch(dev, slot), value);
 }
 
 void MnaSystem::AddBranchBranchMatrix(const Device& dev, int slot,
                                       double value) {
   const int i = UnknownOfBranch(dev, slot);
-  if (sparse_) {
-    sparse_jac_.Add(static_cast<size_t>(i), static_cast<size_t>(i), value);
-  } else {
-    jacobian_(static_cast<size_t>(i), static_cast<size_t>(i)) += value;
-  }
+  StampMatrix(i, i, value);
 }
 
 void MnaSystem::AddBranchRhs(const Device& dev, int slot, double value) {
-  rhs_[static_cast<size_t>(UnknownOfBranch(dev, slot))] += value;
+  StampRhs(UnknownOfBranch(dev, slot), value);
+}
+
+linalg::Vector MnaSystem::MultiplyJacobian(const linalg::Vector& x) const {
+  assert(static_cast<int>(x.size()) == num_unknowns_);
+  if (!sparse_) return jacobian_.Multiply(x);
+  linalg::Vector y(static_cast<size_t>(num_unknowns_), 0.0);
+  sparse_jac_.ForEach(
+      [&](size_t r, size_t c, double v) { y[r] += v * x[c]; });
+  return y;
 }
 
 double MnaSystem::PrevState(const Device& dev, int slot) const {
@@ -148,7 +447,21 @@ double MnaSystem::PrevState(const Device& dev, int slot) const {
 void MnaSystem::SetState(const Device& dev, int slot, double value) {
   const DeviceSlots& s = SlotsOf(dev);
   assert(s.state_offset >= 0 && slot < dev.num_states());
-  curr_states_[static_cast<size_t>(s.state_offset + slot)] = value;
+  const size_t abs_slot = static_cast<size_t>(s.state_offset + slot);
+  if (phase_ == AssemblyPhase::kReplaying) {
+    if (state_plan_[state_cursor_] != static_cast<int32_t>(abs_slot)) {
+      plan_mismatch_ = true;  // includes the -1 sentinel past the end
+      return;
+    }
+    if (bypass_) state_vals_[state_cursor_] = value;
+    ++state_cursor_;
+    curr_states_[abs_slot] = value;
+    return;
+  }
+  if (phase_ == AssemblyPhase::kRecording) {
+    state_plan_.push_back(static_cast<int32_t>(abs_slot));
+  }
+  curr_states_[abs_slot] = value;
 }
 
 }  // namespace cmldft::sim

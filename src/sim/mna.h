@@ -1,8 +1,21 @@
 // Modified Nodal Analysis system: unknown numbering, assembly, and the
 // StampContext implementation devices stamp into.
+//
+// Assembly fast path (see docs/performance.md, "Newton fast path"): the
+// first Assemble() records every matrix/RHS/state destination each device
+// touches and compiles the sequence into a flat plan of resolved write
+// targets (dense: pointer into the row-major Jacobian; sparse: pointer into
+// the builder's frozen slot). Steady-state Assemble() then replays the plan
+// — branch-free sequential writes with zero hash lookups — while validating
+// each stamp call against the recorded (row, col); any divergence (a device
+// taking a different conditional stamp path, or a sparsity-pattern change)
+// falls back to a full re-record. Replay is bit-identical to the legacy
+// path and on by default. Device bypass layers on top (opt-in): devices
+// whose inputs did not move since their last stamp replay cached values
+// instead of re-evaluating their model.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -21,6 +34,11 @@ class MnaSystem : public netlist::StampContext {
  public:
   explicit MnaSystem(const netlist::Netlist& netlist);
 
+  // The compiled stamp plan caches raw pointers into this object's own
+  // Jacobian storage; copying would alias them onto the source.
+  MnaSystem(const MnaSystem&) = delete;
+  MnaSystem& operator=(const MnaSystem&) = delete;
+
   const netlist::Netlist& netlist() const { return *netlist_; }
 
   int num_unknowns() const { return num_unknowns_; }
@@ -32,15 +50,37 @@ class MnaSystem : public netlist::StampContext {
   int UnknownOfBranch(const netlist::Device& dev, int slot) const;
 
   // --- analysis configuration (set by the engines) ----------------------
-  void set_mode(netlist::AnalysisMode m) { mode_ = m; }
-  void set_time(double t) { time_ = t; }
-  void set_dt(double dt) { dt_ = dt; }
-  void set_method(netlist::IntegrationMethod m) { method_ = m; }
-  void set_gmin(double g) { gmin_ = g; }
-  void set_temperature(double t) { temperature_ = t; }
+  // Setters bump the stamp epoch on a value change so cached device
+  // contributions from a different context are never replayed.
+  void set_mode(netlist::AnalysisMode m) {
+    if (mode_ != m) { mode_ = m; ++stamp_epoch_; }
+  }
+  void set_time(double t) {
+    if (time_ != t) { time_ = t; ++stamp_epoch_; }
+  }
+  void set_dt(double dt) {
+    if (dt_ != dt) { dt_ = dt; ++stamp_epoch_; }
+  }
+  void set_method(netlist::IntegrationMethod m) {
+    if (method_ != m) { method_ = m; ++stamp_epoch_; }
+  }
+  void set_gmin(double g) {
+    if (gmin_ != g) { gmin_ = g; ++stamp_epoch_; }
+  }
+  void set_temperature(double t) {
+    if (temperature_ != t) { temperature_ = t; ++stamp_epoch_; }
+  }
+  // first_iteration is advisory (no device model consults it — see the
+  // contract in StampContext), so it is deliberately excluded from the
+  // stamp epoch: bumping it here would invalidate every bypass cache
+  // between the first and second iteration of each solve.
   void set_first_iteration(bool b) { first_iteration_ = b; }
-  void set_source_scale(double s) { source_scale_ = s; }
-  void set_initializing_state(bool b) { initializing_state_ = b; }
+  void set_source_scale(double s) {
+    if (source_scale_ != s) { source_scale_ = s; ++stamp_epoch_; }
+  }
+  void set_initializing_state(bool b) {
+    if (initializing_state_ != b) { initializing_state_ = b; ++stamp_epoch_; }
+  }
 
   /// Assemble Jacobian and RHS at the given iterate (solving J x = rhs
   /// yields the next Newton iterate directly). In sparse mode the Jacobian
@@ -56,11 +96,43 @@ class MnaSystem : public netlist::StampContext {
   const linalg::SparseBuilder& sparse_jacobian() const { return sparse_jac_; }
   const linalg::Vector& rhs() const { return rhs_; }
 
+  /// y = J x with the currently assembled Jacobian (dense or sparse).
+  /// Used by the Jacobian-reuse path to form residuals without factoring.
+  linalg::Vector MultiplyJacobian(const linalg::Vector& x) const;
+
   /// Persistent sparse solver: because the MNA sparsity pattern is fixed
   /// for the lifetime of this system, the solver's symbolic factorization
   /// and pivot order survive across Newton iterations *and* timepoints —
   /// callers use SparseLu::Refactor() for numeric-only refactorization.
   linalg::SparseLu& sparse_solver() { return sparse_lu_; }
+
+  // --- assembly fast path ------------------------------------------------
+  /// Compiled stamp plan policy. Replay is bit-identical to the legacy
+  /// path wherever it runs; the mode only decides *when* it runs:
+  ///  - kAuto (default): replay when it pays — sparse routing (eliminates
+  ///    the SparseBuilder hash accumulation) or device bypass (which
+  ///    replays cached stamps through the plan's resolved targets). Dense
+  ///    assembly without bypass keeps the legacy direct-index path, which
+  ///    per-stamp validation cannot beat.
+  ///  - kForce: always replay (tests and benchmarks of the replay path).
+  ///  - kOff: always legacy.
+  enum class StampPlanMode : uint8_t { kOff, kAuto, kForce };
+  void set_stamp_plan_mode(StampPlanMode mode);
+  StampPlanMode stamp_plan_mode() const { return plan_mode_; }
+
+  /// Device bypass (opt-in): replay a device's cached stamp values when
+  /// its terminal voltages and branch currents moved less than
+  /// |dV| < abstol + reltol * |V| since they were cached and the analysis
+  /// context (time, dt, mode, ...) is unchanged. Linear context-free
+  /// devices replay bit-identically; nonlinear/stateful devices introduce
+  /// a bounded model error — see NewtonOptions::bypass.
+  void set_bypass(bool enabled, double reltol, double abstol);
+  bool bypass() const { return bypass_; }
+
+  /// Drop all cached device contributions. Engines must call this after
+  /// mutating a device in place (e.g. a source sweep rewriting a waveform)
+  /// so bypass never replays stamps from the pre-mutation device.
+  void InvalidateDeviceCaches();
 
   // --- integrator state --------------------------------------------------
   /// Promote the states written during the last converged solve to
@@ -104,8 +176,55 @@ class MnaSystem : public netlist::StampContext {
   };
   const DeviceSlots& SlotsOf(const netlist::Device& dev) const;
 
+  // --- compiled stamp plan ------------------------------------------------
+  // One resolved matrix write, packed to 16 bytes so replay validation is
+  // a single 64-bit compare: key = row << 33 | col << 1 | assign. The
+  // assign bit marks the first touch of a slot in the assembly sequence:
+  // replay stores instead of accumulating, which lets it skip the O(n^2)
+  // dense zero-fill / sparse Clear(). The stored value is
+  // `v + plan_assign_bias_` to reproduce each backend's signed-zero
+  // behavior bit for bit: dense legacy accumulates into a zeroed matrix
+  // (`0.0 += -0.0` gives +0.0, bias +0.0 normalizes the same way) while
+  // sparse legacy inserts the raw value (-0.0 survives, bias -0.0 is the
+  // IEEE identity `x + -0.0 == x`).
+  struct MatrixWrite {
+    double* target;
+    uint64_t key;
+  };
+  static constexpr uint64_t kAssignBit = 1;
+  static uint64_t PackRc(int32_t r, int32_t c) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(r)) << 33 |
+           static_cast<uint64_t>(static_cast<uint32_t>(c)) << 1;
+  }
+  // Per-device ranges into the three plan streams.
+  struct DeviceSpan {
+    uint32_t mat_begin = 0, mat_end = 0;
+    uint32_t rhs_begin = 0, rhs_end = 0;
+    uint32_t state_begin = 0, state_end = 0;
+  };
+  // Bypass eligibility, decided at plan compile time.
+  enum class DeviceClass : uint8_t {
+    kPure,           // linear, stateless, context-free: replay always
+    kContextStatic,  // linear, stateless, context-dependent: same epoch
+    kDynamic,        // nonlinear or stateful: same epoch + input tolerance
+  };
+  enum class AssemblyPhase : uint8_t { kLegacy, kRecording, kReplaying };
+
+  void LegacyAssemble();
+  void RecordAssemble();
+  bool ReplayAssemble();  // false on plan mismatch (plan is dropped)
+  void CompilePlan();
+  bool CanBypass(size_t index) const;
+  void ReplayFromCache(const DeviceSpan& span);
+  void CaptureCache(size_t index);
+
+  // Stamp write routing shared by all Add* overrides.
+  void StampMatrix(int r, int c, double v);
+  void StampRhs(int r, double v);
+
   const netlist::Netlist* netlist_;
-  std::unordered_map<const netlist::Device*, DeviceSlots> slots_;
+  std::vector<DeviceSlots> slots_;  // indexed by Device::ordinal()
+  int num_devices_ = 0;
   int num_node_unknowns_ = 0;
   int num_unknowns_ = 0;
   int num_states_ = 0;
@@ -128,6 +247,46 @@ class MnaSystem : public netlist::StampContext {
   linalg::Vector rhs_;
   std::vector<double> prev_states_;
   std::vector<double> curr_states_;
+
+  // Plan state.
+  StampPlanMode plan_mode_ = StampPlanMode::kAuto;
+  bool plan_ready_ = false;
+  bool plan_sparse_ = false;
+  uint64_t plan_pattern_version_ = 0;  // sparse builder structure snapshot
+  AssemblyPhase phase_ = AssemblyPhase::kLegacy;
+  bool plan_mismatch_ = false;
+  double plan_assign_bias_ = 0.0;  // +0.0 dense, -0.0 sparse (see above)
+  // Each plan stream ends in a sentinel that can never match a real stamp
+  // (key ~0 / row -1), so the replay hot path needs no bounds checks: a
+  // device stamping past its recorded span hits the sentinel and flags a
+  // mismatch instead of running off the end.
+  std::vector<MatrixWrite> mat_plan_;
+  std::vector<int32_t> rhs_plan_;    // validated row per RHS write
+  std::vector<int32_t> state_plan_;  // absolute state slot per SetState
+  std::vector<DeviceSpan> spans_;
+  std::vector<DeviceClass> device_class_;
+  std::vector<std::pair<int32_t, int32_t>> rec_mat_;  // record scratch
+  size_t mat_cursor_ = 0, rhs_cursor_ = 0, state_cursor_ = 0;
+
+  // Bypass state. Caches live at plan positions so a bypassed device's
+  // contribution replays through the same MatrixWrite targets.
+  bool bypass_ = false;
+  double bypass_reltol_ = 0.0;
+  double bypass_abstol_ = 0.0;
+  uint64_t stamp_epoch_ = 1;
+  std::vector<double> mat_vals_;    // captured matrix values, per plan entry
+  std::vector<double> rhs_vals_;    // captured RHS values
+  std::vector<double> state_vals_;  // captured state values
+  std::vector<uint8_t> cache_valid_;       // per device
+  std::vector<uint64_t> cache_epoch_;      // per device
+  // Input layout compiled with the plan: device i's inputs are
+  // input_cache_[input_cache_offset_[i] .. input_cache_offset_[i + 1]),
+  // and input_unknowns_ holds the unknown index each input reads from
+  // (-1 for a grounded terminal) so the bypass check never touches the
+  // Device object.
+  std::vector<uint32_t> input_cache_offset_;  // num_devices_ + 1 entries
+  std::vector<int32_t> input_unknowns_;
+  std::vector<double> input_cache_;  // terminal voltages + branch currents
 };
 
 }  // namespace cmldft::sim

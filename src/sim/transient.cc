@@ -146,8 +146,19 @@ util::StatusOr<TransientResult> RunTransient(const netlist::Netlist& netlist,
   mna.set_initializing_state(true);
   mna.set_time(0.0);
   mna.set_dt(0.0);
-  linalg::Vector zero_guess(static_cast<size_t>(mna.num_unknowns()), 0.0);
-  auto op = internal::SolveDcHomotopy(mna, options.dc, zero_guess);
+  linalg::Vector guess(static_cast<size_t>(mna.num_unknowns()), 0.0);
+  // Optional warm start: seed node voltages by NodeId where provided (a
+  // guess from a fault-free variant stays usable when defect injection
+  // appended split nodes — those, and branch currents, start at zero).
+  const size_t num_seeded =
+      std::min(options.initial_node_voltages.size(),
+               static_cast<size_t>(netlist.num_nodes()));
+  for (size_t node = 1; node < num_seeded; ++node) {
+    guess[static_cast<size_t>(
+        mna.UnknownOfNode(static_cast<netlist::NodeId>(node)))] =
+        options.initial_node_voltages[node];
+  }
+  auto op = internal::SolveDcHomotopy(mna, options.dc, guess);
   if (!op.ok()) {
     return util::Status::NoConvergence("transient t=0 operating point: " +
                                        op.status().message());

@@ -1,0 +1,221 @@
+// The compiled stamp plan must be invisible: for any netlist, any mode
+// sequence, and any iterate, a plan-driven Assemble() produces a Jacobian,
+// RHS, and state vector bit-identical to the legacy hash-and-branch path —
+// in dense and sparse routing, across mode/context switches that force
+// devices down different conditional stamp paths (plan mismatch +
+// re-record), and across state rotations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "devices/bjt.h"
+#include "devices/diode.h"
+#include "devices/passive.h"
+#include "devices/sources.h"
+#include "sim/mna.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cmldft {
+namespace {
+
+using devices::Waveform;
+using netlist::NodeId;
+
+// Random mixed-device netlist: every device kind the simulator knows,
+// wired to random nodes (ground included, so dropped stamps are covered).
+netlist::Netlist RandomNetlist(uint64_t seed, int num_nodes, int num_devices) {
+  util::Rng rng(seed);
+  netlist::Netlist nl;
+  std::vector<NodeId> nodes = {netlist::kGroundNode};
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes.push_back(nl.AddNode(util::StrPrintf("n%d", i)));
+  }
+  auto pick = [&] { return nodes[rng.NextBelow(nodes.size())]; };
+  for (int i = 0; i < num_devices; ++i) {
+    const std::string name = util::StrPrintf("d%d", i);
+    switch (rng.NextBelow(7)) {
+      case 0:
+        nl.AddDevice(std::make_unique<devices::Resistor>(
+            name, pick(), pick(), rng.NextDouble(100.0, 10e3)));
+        break;
+      case 1:
+        nl.AddDevice(std::make_unique<devices::Capacitor>(
+            name, pick(), pick(), rng.NextDouble(1e-15, 1e-12)));
+        break;
+      case 2:
+        nl.AddDevice(std::make_unique<devices::Diode>(name, pick(), pick()));
+        break;
+      case 3:
+        nl.AddDevice(
+            std::make_unique<devices::Bjt>(name, pick(), pick(), pick()));
+        break;
+      case 4:
+        nl.AddDevice(std::make_unique<devices::VSource>(
+            name, pick(), pick(), Waveform::Dc(rng.NextDouble(-2.0, 2.0))));
+        break;
+      case 5:
+        nl.AddDevice(std::make_unique<devices::ISource>(
+            name, pick(), pick(), Waveform::Dc(rng.NextDouble(-1e-3, 1e-3))));
+        break;
+      default:
+        nl.AddDevice(std::make_unique<devices::Vcvs>(
+            name, pick(), pick(), pick(), pick(), rng.NextDouble(-4.0, 4.0)));
+        break;
+    }
+  }
+  return nl;
+}
+
+linalg::Vector RandomIterate(util::Rng& rng, int n) {
+  linalg::Vector x(static_cast<size_t>(n));
+  for (double& v : x) v = rng.NextDouble(-1.2, 1.2);
+  return x;
+}
+
+// Bitwise double equality (distinguishes -0.0 from +0.0 and is NaN-safe).
+::testing::AssertionResult BitEqual(double a, double b, const char* what,
+                                    size_t index) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << what << "[" << index << "]: " << a << " vs " << b
+         << " (bits differ)";
+}
+
+struct SparseEntry {
+  size_t row, col;
+  double value;
+};
+
+std::vector<SparseEntry> Entries(const linalg::SparseBuilder& b) {
+  std::vector<SparseEntry> out;
+  b.ForEach([&](size_t r, size_t c, double v) { out.push_back({r, c, v}); });
+  return out;
+}
+
+void ExpectIdentical(const sim::MnaSystem& plan, const sim::MnaSystem& legacy,
+                     bool sparse) {
+  if (sparse) {
+    const auto pe = Entries(plan.sparse_jacobian());
+    const auto le = Entries(legacy.sparse_jacobian());
+    ASSERT_EQ(pe.size(), le.size());
+    for (size_t k = 0; k < pe.size(); ++k) {
+      EXPECT_EQ(pe[k].row, le[k].row) << "entry " << k;
+      EXPECT_EQ(pe[k].col, le[k].col) << "entry " << k;
+      EXPECT_TRUE(BitEqual(pe[k].value, le[k].value, "sparse", k));
+    }
+  } else {
+    const size_t n = static_cast<size_t>(plan.num_unknowns());
+    for (size_t i = 0; i < n * n; ++i) {
+      ASSERT_TRUE(BitEqual(plan.jacobian().data()[i],
+                           legacy.jacobian().data()[i], "jacobian", i));
+    }
+  }
+  for (size_t i = 0; i < plan.rhs().size(); ++i) {
+    ASSERT_TRUE(BitEqual(plan.rhs()[i], legacy.rhs()[i], "rhs", i));
+  }
+}
+
+// Drives a plan-enabled and a plan-disabled system through the same
+// context/iterate sequence and demands bitwise-equal results after every
+// single Assemble.
+void RunLockstep(uint64_t seed, bool sparse) {
+  const netlist::Netlist nl = RandomNetlist(seed, /*num_nodes=*/9,
+                                            /*num_devices=*/24);
+  sim::MnaSystem plan_sys(nl);
+  sim::MnaSystem legacy_sys(nl);
+  plan_sys.set_stamp_plan_mode(sim::MnaSystem::StampPlanMode::kForce);
+  legacy_sys.set_stamp_plan_mode(sim::MnaSystem::StampPlanMode::kOff);
+  util::Rng rng(seed ^ 0xD1CEull);
+
+  auto both = [&](auto&& fn) {
+    fn(plan_sys);
+    fn(legacy_sys);
+  };
+  both([&](sim::MnaSystem& m) {
+    m.set_sparse(sparse);
+    m.set_mode(netlist::AnalysisMode::kDcOperatingPoint);
+    m.set_initializing_state(true);
+  });
+
+  // DC phase: several iterates (first one records the plan).
+  for (int iter = 0; iter < 4; ++iter) {
+    const linalg::Vector x = RandomIterate(rng, plan_sys.num_unknowns());
+    both([&](sim::MnaSystem& m) {
+      m.set_first_iteration(iter == 0);
+      m.Assemble(x);
+    });
+    ExpectIdentical(plan_sys, legacy_sys, sparse);
+  }
+
+  // Switch to transient: charge companions activate, devices take
+  // different conditional stamp paths — the plan must re-record, not
+  // replay garbage.
+  both([&](sim::MnaSystem& m) {
+    m.RotateStates();
+    m.set_mode(netlist::AnalysisMode::kTransient);
+    m.set_initializing_state(false);
+    m.set_dt(1e-12);
+    m.set_time(1e-12);
+  });
+  for (int step = 0; step < 3; ++step) {
+    for (int iter = 0; iter < 3; ++iter) {
+      const linalg::Vector x = RandomIterate(rng, plan_sys.num_unknowns());
+      both([&](sim::MnaSystem& m) {
+        m.set_first_iteration(iter == 0);
+        m.Assemble(x);
+      });
+      ExpectIdentical(plan_sys, legacy_sys, sparse);
+    }
+    both([&](sim::MnaSystem& m) {
+      m.RotateStates();
+      m.set_time(1e-12 * (step + 2));
+    });
+  }
+
+  // A rejected step: reset states and retry with a smaller dt.
+  both([&](sim::MnaSystem& m) {
+    m.ResetCurrentStates();
+    m.set_dt(2.5e-13);
+  });
+  const linalg::Vector x = RandomIterate(rng, plan_sys.num_unknowns());
+  both([&](sim::MnaSystem& m) {
+    m.set_first_iteration(true);
+    m.Assemble(x);
+  });
+  ExpectIdentical(plan_sys, legacy_sys, sparse);
+}
+
+TEST(StampPlanTest, RandomNetlistsDenseBitIdentical) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) RunLockstep(seed, /*sparse=*/false);
+}
+
+TEST(StampPlanTest, RandomNetlistsSparseBitIdentical) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) RunLockstep(seed, /*sparse=*/true);
+}
+
+// Switching a system between sparse and dense routing mid-life must not
+// replay a plan compiled for the other backend.
+TEST(StampPlanTest, SurvivesSparseDenseSwitch) {
+  const netlist::Netlist nl = RandomNetlist(3, 8, 20);
+  sim::MnaSystem plan_sys(nl);
+  sim::MnaSystem legacy_sys(nl);
+  legacy_sys.set_stamp_plan_mode(sim::MnaSystem::StampPlanMode::kOff);
+  util::Rng rng(99);
+  for (const bool sparse : {false, true, false, true}) {
+    plan_sys.set_sparse(sparse);
+    legacy_sys.set_sparse(sparse);
+    const linalg::Vector x = RandomIterate(rng, plan_sys.num_unknowns());
+    plan_sys.Assemble(x);
+    legacy_sys.Assemble(x);
+    ExpectIdentical(plan_sys, legacy_sys, sparse);
+  }
+}
+
+}  // namespace
+}  // namespace cmldft
