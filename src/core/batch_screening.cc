@@ -1,0 +1,79 @@
+#include "core/batch_screening.h"
+
+#include <algorithm>
+
+#include "util/telemetry.h"
+
+namespace cmldft::core {
+
+namespace {
+const util::telemetry::Counter& GroupsCounter() {
+  static const util::telemetry::Counter c =
+      util::telemetry::GetCounter("sim.screening.batch_groups");
+  return c;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const util::telemetry::Counter& kEagerRegistration =
+    GroupsCounter();
+}  // namespace
+
+std::string_view DefectStructureName(DefectStructure s) {
+  switch (s) {
+    case DefectStructure::kAdditive: return "additive";
+    case DefectStructure::kNodeSplit: return "node-split";
+  }
+  return "?";
+}
+
+DefectStructure StructureSignatureOf(const defects::Defect& d) {
+  switch (d.type) {
+    case defects::DefectType::kTransistorPipe:
+    case defects::DefectType::kTransistorShort:
+    case defects::DefectType::kResistorShort:
+    case defects::DefectType::kBridge:
+      return DefectStructure::kAdditive;
+    case defects::DefectType::kTransistorOpen:
+    case defects::DefectType::kWireOpen:
+    case defects::DefectType::kResistorOpen:
+      return DefectStructure::kNodeSplit;
+  }
+  return DefectStructure::kAdditive;
+}
+
+std::vector<BatchGroup> GroupByStructure(
+    const std::vector<defects::Defect>& universe,
+    const std::vector<uint64_t>& selected) {
+  BatchGroup additive{DefectStructure::kAdditive, {}};
+  BatchGroup split{DefectStructure::kNodeSplit, {}};
+  for (size_t pos = 0; pos < selected.size(); ++pos) {
+    const defects::Defect& d = universe[static_cast<size_t>(selected[pos])];
+    (StructureSignatureOf(d) == DefectStructure::kAdditive ? additive : split)
+        .positions.push_back(pos);
+  }
+  std::vector<BatchGroup> out;
+  if (!additive.positions.empty()) out.push_back(std::move(additive));
+  if (!split.positions.empty()) out.push_back(std::move(split));
+  return out;
+}
+
+std::vector<BatchChunk> PlanBatches(
+    const std::vector<defects::Defect>& universe,
+    const std::vector<uint64_t>& selected, int batch) {
+  const size_t k = static_cast<size_t>(std::max(batch, 1));
+  std::vector<BatchChunk> chunks;
+  const std::vector<BatchGroup> groups = GroupByStructure(universe, selected);
+  GroupsCounter().Add(groups.size());
+  for (const BatchGroup& g : groups) {
+    for (size_t begin = 0; begin < g.positions.size(); begin += k) {
+      BatchChunk chunk;
+      chunk.structure = g.structure;
+      const size_t end = std::min(begin + k, g.positions.size());
+      chunk.positions.assign(g.positions.begin() + static_cast<long>(begin),
+                             g.positions.begin() + static_cast<long>(end));
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  return chunks;
+}
+
+}  // namespace cmldft::core

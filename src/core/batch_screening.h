@@ -1,0 +1,67 @@
+// Structure-signature grouping for batched defect screening.
+//
+// The batched transient engine (sim/batch.h) shares one LU factorization
+// across the variants of a batch, which requires every variant in the
+// batch to assemble an MNA system of the same dimension. Defect injection
+// (defects/defect.cc) changes the matrix structure in exactly two ways:
+//
+//  - additive defects (transistor pipes and shorts, resistor shorts,
+//    bridges) insert one extra resistor between two existing nodes: the
+//    unknown count stays the base netlist's, and the Jacobian differs
+//    from fault-free by a handful of conductance entries;
+//  - node-split defects (transistor/wire/resistor opens) sever a terminal
+//    onto a fresh node reconnected through R||C: the unknown count grows
+//    by exactly one node.
+//
+// Grouping by that signature therefore partitions any universe into
+// batches whose members share dimension (and near-identical sparsity), so
+// one shared factorization and one blocked multi-RHS solve serve the
+// whole group. Every defect lands in exactly one group.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "defects/defect.h"
+
+namespace cmldft::core {
+
+/// Matrix-structure signature of a defect (see file comment).
+enum class DefectStructure : uint8_t { kAdditive, kNodeSplit };
+
+std::string_view DefectStructureName(DefectStructure s);
+
+/// The signature of one defect, derived purely from its type.
+DefectStructure StructureSignatureOf(const defects::Defect& d);
+
+/// One structure group: positions into the screening selection order (not
+/// universe ids), in ascending order.
+struct BatchGroup {
+  DefectStructure structure = DefectStructure::kAdditive;
+  std::vector<size_t> positions;
+};
+
+/// Partition the selected defects (selection position -> universe id) into
+/// structure groups. Selection order is preserved within each group, and
+/// every selected defect lands in exactly one group.
+std::vector<BatchGroup> GroupByStructure(
+    const std::vector<defects::Defect>& universe,
+    const std::vector<uint64_t>& selected);
+
+/// One unit of batched work: up to `batch` same-structure defects that
+/// advance through one shared transient loop.
+struct BatchChunk {
+  DefectStructure structure = DefectStructure::kAdditive;
+  std::vector<size_t> positions;  // selection positions, ascending
+};
+
+/// Split each structure group into chunks of at most `batch` members.
+/// Chunk composition depends only on the selection order and `batch` —
+/// never on thread count — so batched screening stays deterministic for
+/// any parallelism. Increments the sim.screening.batch_groups counter.
+std::vector<BatchChunk> PlanBatches(
+    const std::vector<defects::Defect>& universe,
+    const std::vector<uint64_t>& selected, int batch);
+
+}  // namespace cmldft::core

@@ -77,6 +77,16 @@ struct ScreeningOptions {
   /// iterate trajectories only, not the converged-solution tolerances;
   /// default off.
   bool warm_start = false;
+  /// Batched screening: advance up to this many same-structure defect
+  /// variants through one shared Newton/transient loop (sim/batch.h,
+  /// docs/performance.md "Batched defect screening"). 1 (default) is the
+  /// exact one-at-a-time path; higher values are tolerance-equivalent at
+  /// the waveform level — fault classifications are regression-tested
+  /// bit-identical against the scalar engine, and a hard variant drops
+  /// out of its batch to the exact scalar path automatically. Defaults to
+  /// 1 rather than on so golden waveforms and campaign stores stay
+  /// byte-stable; deterministic for any thread count at any K.
+  int batch = 1;
 };
 
 struct DefectOutcome {

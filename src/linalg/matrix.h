@@ -57,15 +57,24 @@ class MatrixT {
 
   /// Matrix-vector product y = A x.
   std::vector<T> Multiply(const std::vector<T>& x) const {
+    std::vector<T> y;
+    MultiplyInto(x, &y);
+    return y;
+  }
+
+  /// y = A x into a caller-owned buffer (resized as needed). Bit-identical
+  /// to Multiply(); exists so per-iteration hot loops (the batched
+  /// screening engine forms one residual per variant per Newton round)
+  /// can reuse their scratch instead of allocating.
+  void MultiplyInto(const std::vector<T>& x, std::vector<T>* y) const {
     assert(x.size() == cols_);
-    std::vector<T> y(rows_, T{});
+    y->resize(rows_);
     for (size_t r = 0; r < rows_; ++r) {
       T acc{};
       const T* row = data_.data() + r * cols_;
       for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-      y[r] = acc;
+      (*y)[r] = acc;
     }
-    return y;
   }
 
   /// Matrix-matrix product.

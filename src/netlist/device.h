@@ -66,6 +66,21 @@ class Device {
   /// Nonlinear or state-carrying devices are context-dependent implicitly.
   virtual bool has_context_dependent_stamp() const { return false; }
 
+  /// True when Stamp() reads the simulation clock (ctx.time()) directly.
+  /// Device bypass uses this to decide whether a nonlinear/stateful
+  /// device's cached stamp may survive a timepoint change: companion
+  /// models (BJTs, diodes, capacitors) read only the iterate, their
+  /// previous state, and dt — all of which the bypass check re-validates —
+  /// so they keep the default false via their untouched
+  /// has_context_dependent_stamp(). Waveform sources return true. A new
+  /// device that evaluates ctx.time() inside Stamp() MUST return true
+  /// here (or inherit it by overriding has_context_dependent_stamp());
+  /// returning false would let bypass replay stamps from a stale
+  /// timepoint.
+  virtual bool has_time_dependent_stamp() const {
+    return has_context_dependent_stamp();
+  }
+
   /// Position of this device in its owning netlist's stable device order
   /// (-1 while unowned). Maintained by Netlist; MNA systems use it as a
   /// dense per-device index instead of hashing device pointers.

@@ -247,6 +247,103 @@ GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden) {
   return diff;
 }
 
+namespace {
+
+/// Family = benchmark name up to the first '/', e.g.
+/// "BM_TransientFastPath/2" -> "BM_TransientFastPath".
+std::string FamilyOf(const std::string& name) {
+  const size_t slash = name.find('/');
+  return slash == std::string::npos ? name : name.substr(0, slash);
+}
+
+/// Check one report's context for the release provenance tags that make
+/// its timings baseline-comparable. Returns the library_build_type (or
+/// "" when absent, which is itself recorded as drift).
+std::string CheckPerfProvenance(const Json& doc, const char* which,
+                                GoldenDiff* diff) {
+  const Json* ctx = doc.Find("context");
+  if (ctx == nullptr) {
+    diff->mismatches.push_back(std::string(which) +
+                               ": no \"context\" block — not google-benchmark "
+                               "JSON output?");
+    return "";
+  }
+  const std::string build = ctx->GetString("cmldft_build_type");
+  if (build != "Release") {
+    diff->mismatches.push_back(std::string(which) + ": cmldft_build_type \"" +
+                               build + "\" (need \"Release\")");
+  }
+  const std::string asserts = ctx->GetString("cmldft_assertions");
+  if (asserts != "disabled") {
+    diff->mismatches.push_back(std::string(which) + ": cmldft_assertions \"" +
+                               asserts + "\" (need \"disabled\")");
+  }
+  const std::string lib = ctx->GetString("library_build_type");
+  if (lib.empty()) {
+    diff->mismatches.push_back(
+        std::string(which) +
+        ": context carries no library_build_type — google-benchmark too old "
+        "to tag its own build flavour; timings are not baseline-comparable");
+  }
+  return lib;
+}
+
+}  // namespace
+
+GoldenDiff CompareGbenchPerf(const Json& actual, const Json& baseline,
+                             double tolerance,
+                             const std::vector<std::string>& families) {
+  GoldenDiff diff;
+  const std::string actual_lib = CheckPerfProvenance(actual, "actual", &diff);
+  const std::string base_lib = CheckPerfProvenance(baseline, "baseline", &diff);
+  // The harness library's own build flavour shifts the timing-loop
+  // overhead; comparing across flavours measures the harness, not us.
+  if (!actual_lib.empty() && !base_lib.empty() && actual_lib != base_lib) {
+    diff.mismatches.push_back("library_build_type mismatch: actual \"" +
+                              actual_lib + "\" vs baseline \"" + base_lib +
+                              "\"");
+  }
+  if (!diff.ok()) return diff;  // timings are meaningless across provenance
+
+  const Json* base_runs = baseline.Find("benchmarks");
+  const Json* actual_runs = actual.Find("benchmarks");
+  static const Json kEmpty = Json::Array();
+  if (base_runs == nullptr) base_runs = &kEmpty;
+  if (actual_runs == nullptr) actual_runs = &kEmpty;
+  for (size_t i = 0; i < base_runs->size(); ++i) {
+    const Json& b = base_runs->at(i);
+    if (b.GetString("run_type", "iteration") != "iteration") continue;
+    const std::string name = b.GetString("name");
+    if (std::find(families.begin(), families.end(), FamilyOf(name)) ==
+        families.end()) {
+      continue;
+    }
+    const Json* a = FindByName(*actual_runs, name);
+    if (a == nullptr) {
+      diff.mismatches.push_back("benchmark '" + name +
+                                "' missing from actual run");
+      continue;
+    }
+    ++diff.values_compared;
+    const double base_cpu = b.GetNumber("cpu_time");
+    const double actual_cpu = a->GetNumber("cpu_time");
+    if (base_cpu <= 0) {
+      diff.mismatches.push_back("benchmark '" + name +
+                                "': baseline cpu_time is not positive");
+      continue;
+    }
+    const double ratio = actual_cpu / base_cpu;
+    if (ratio > 1.0 + tolerance) {
+      diff.mismatches.push_back(util::StrPrintf(
+          "benchmark '%s': cpu_time %.6g vs baseline %.6g (%.0f%% slower, "
+          "tolerance %.0f%%)",
+          name.c_str(), actual_cpu, base_cpu, (ratio - 1.0) * 100.0,
+          tolerance * 100.0));
+    }
+  }
+  return diff;
+}
+
 GoldenDiff CompareTelemetrySchema(const Json& actual, const Json& golden) {
   GoldenDiff diff;
   const std::string gschema = golden.GetString("schema");

@@ -30,6 +30,23 @@ GoldenDiff CompareReports(const Json& actual, const Json& golden);
 /// list exactly. Timings are machine-dependent and never compared.
 GoldenDiff CompareGbenchStructure(const Json& actual, const Json& golden);
 
+/// Tolerant performance comparison for google-benchmark JSON output,
+/// used by the CI benchmark-regression gate (see docs/performance.md
+/// "Benchmark baselines"). For every baseline benchmark whose family
+/// (the name up to the first '/') is listed in `families`, the actual
+/// run's cpu_time may not exceed baseline by more than `tolerance`
+/// (0.20 = +20%). Getting *faster* is never drift. Also enforces the
+/// provenance contract both reports must share before timings are
+/// comparable at all: `cmldft_build_type` "Release", `cmldft_assertions`
+/// "disabled", and a present, *consistent* google-benchmark
+/// `library_build_type` — the library tags its own build flavour, and a
+/// debug-harness run measured against a release-harness baseline (or a
+/// baseline missing the tag entirely) is a provenance mismatch, not a
+/// perf signal.
+GoldenDiff CompareGbenchPerf(const Json& actual, const Json& baseline,
+                             double tolerance,
+                             const std::vector<std::string>& families);
+
 /// Structural comparison for "cmldft-telemetry-v1" snapshots: the metric
 /// name set, each metric's kind, and each histogram's bucket bounds must
 /// match the golden exactly. Values (counts, seconds, buckets) are run-

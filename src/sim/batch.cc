@@ -1,0 +1,579 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "linalg/lu.h"
+#include "linalg/sparse.h"
+#include "sim/dc_internal.h"
+#include "sim/mna.h"
+#include "sim/newton.h"
+#include "sim/transient_internal.h"
+#include "util/telemetry.h"
+
+namespace cmldft::sim {
+
+namespace {
+
+struct BatchMetrics {
+  util::telemetry::Counter variants =
+      util::telemetry::GetCounter("sim.screening.batch_variants");
+  util::telemetry::Counter fallbacks =
+      util::telemetry::GetCounter("sim.screening.batch_fallbacks");
+  // Shared with the scalar engine so batched and one-at-a-time runs stay
+  // comparable in the same telemetry snapshot.
+  util::telemetry::Counter iterations =
+      util::telemetry::GetCounter("sim.newton.iterations");
+  util::telemetry::Counter accepted =
+      util::telemetry::GetCounter("sim.tran.accepted_steps");
+  util::telemetry::Counter rejected =
+      util::telemetry::GetCounter("sim.tran.rejected_steps");
+};
+const BatchMetrics& Metrics() {
+  static const BatchMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const BatchMetrics& kEagerRegistration = Metrics();
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A variant whose trial step fails to contract by at least this factor
+// under the shared (or its own stale) factorization has drifted too far
+// from the factored Jacobian: demote it to a fresh per-variant
+// factorization instead of burning rounds on a diverging quasi-Newton
+// iteration.
+constexpr double kQuasiContraction = 0.5;
+
+// A variant that keeps forcing batch-wide step rejections is ejected to
+// the exact scalar path so it cannot starve the rest of the batch.
+constexpr int kMaxRejectionsPerVariant = 8;
+
+// Outcome of one damped Newton update, mirroring SolveNewton's inner loop.
+struct StepOutcome {
+  bool converged = false;  // every |delta| within tolerance AND undamped
+  bool nonfinite = false;
+  double step_norm = 0.0;  // max |x_new - x| before damping (all unknowns)
+};
+
+// Apply the scalar engine's damped update and convergence test: clamp
+// node-voltage moves to max_delta_v, update `x` in place, and report
+// convergence under the exact SolveNewton tolerance formula.
+StepOutcome ApplyDampedUpdate(const NewtonOptions& opts, int n_nodes,
+                              const linalg::Vector& x_new, linalg::Vector& x) {
+  StepOutcome out;
+  const int n = static_cast<int>(x.size());
+  double max_v_step = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d =
+        std::fabs(x_new[static_cast<size_t>(i)] - x[static_cast<size_t>(i)]);
+    out.step_norm = std::max(out.step_norm, d);
+    if (i < n_nodes) max_v_step = std::max(max_v_step, d);
+  }
+  double damp = 1.0;
+  if (max_v_step > opts.max_delta_v) damp = opts.max_delta_v / max_v_step;
+  bool within_tol = true;
+  for (int i = 0; i < n; ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    const double delta = x_new[static_cast<size_t>(i)] - xi;
+    const double step = (i < n_nodes ? damp : 1.0) * delta;
+    const double tol = (i < n_nodes ? opts.abstol_v : opts.abstol_i) +
+                       opts.reltol * std::fabs(xi + step);
+    if (std::fabs(delta) > tol) within_tol = false;
+    x[static_cast<size_t>(i)] = xi + step;
+    if (!std::isfinite(x[static_cast<size_t>(i)])) {
+      out.nonfinite = true;
+      return out;
+    }
+  }
+  out.converged = within_tol && damp == 1.0;
+  return out;
+}
+
+struct Variant {
+  const netlist::Netlist* nl = nullptr;
+  std::unique_ptr<MnaSystem> mna;
+  std::unique_ptr<TransientResult> result;
+  linalg::Vector x;       // accepted solution at the current time
+  linalg::Vector x_prev;  // previous accepted solution (predictor)
+  double dt_prev = 0.0;
+  bool active = false;   // advancing inside the batch
+  bool dropped = false;  // left the batch; scalar rerun pending
+  bool shared_eligible = false;  // dimension matches the reference variant
+  int rejections_caused = 0;
+  bool use_sparse = false;
+  std::vector<size_t> branch_unknowns;
+  std::vector<double> rec_nodes, rec_branches;
+
+  // Factorization state. `own_lu` (dense) or the MnaSystem's persistent
+  // sparse solver holds this variant's private factors; they survive
+  // across Newton rounds AND accepted timepoints, and are refreshed only
+  // when the grid's dt changes (the companion-model conductances move) or
+  // when quasi-Newton contraction through the stale factors stalls.
+  // `own_mode` is sticky: once a variant's Jacobian has drifted too far
+  // from the shared reference it keeps its own factors for the rest of
+  // the run instead of paying a doomed shared solve every step.
+  bool own_mode = false;
+  linalg::LuFactorization own_lu;
+  bool own_valid = false;
+  double own_dt = -1.0;
+
+  // Per-timepoint Newton scratch.
+  linalg::Vector xi;  // current iterate
+  linalg::Vector x_cand, x_trial;
+  bool step_converged = false;
+  bool newton_failed = false;
+  bool stepped_round = false;  // consumed an update this round already
+  double last_step_norm = kInf;
+  double max_change = 0.0;  // node-voltage move of the whole step
+
+  void Record(double t, const linalg::Vector& sol) {
+    for (netlist::NodeId n = 1; n < nl->num_nodes(); ++n) {
+      rec_nodes[static_cast<size_t>(n)] =
+          sol[static_cast<size_t>(mna->UnknownOfNode(n))];
+    }
+    for (size_t i = 0; i < branch_unknowns.size(); ++i) {
+      rec_branches[i] = sol[branch_unknowns[i]];
+    }
+    result->Append(t, rec_nodes, rec_branches);
+  }
+};
+
+}  // namespace
+
+std::vector<util::StatusOr<TransientResult>> RunBatchedTransient(
+    const std::vector<const netlist::Netlist*>& variants,
+    const TransientOptions& options, BatchTransientStats* stats) {
+  BatchTransientStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const BatchMetrics& bm = Metrics();
+  std::vector<util::StatusOr<TransientResult>> out;
+  if (variants.empty()) return out;
+  bm.variants.Add(variants.size());
+  stats->variants += static_cast<int>(variants.size());
+  out.reserve(variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    out.push_back(util::Status::Internal("batched transient: not produced"));
+  }
+  // The scalar rerun reproduces argument errors exactly; no need to
+  // special-case tstop here.
+  const NewtonOptions& newton = options.dc.newton;
+
+  // --- per-variant setup and t = 0 operating point -----------------------
+  std::vector<Variant> vs(variants.size());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    Variant& v = vs[i];
+    v.nl = variants[i];
+    if (options.tstop <= 0.0) {
+      v.dropped = true;  // scalar rerun reports the InvalidArgument
+      continue;
+    }
+    v.mna = std::make_unique<MnaSystem>(*v.nl);
+    v.mna->set_temperature(options.dc.temperature_k);
+    v.mna->set_method(options.method);
+    v.mna->set_mode(netlist::AnalysisMode::kDcOperatingPoint);
+    v.mna->set_initializing_state(true);
+    v.mna->set_time(0.0);
+    v.mna->set_dt(0.0);
+    linalg::Vector guess(static_cast<size_t>(v.mna->num_unknowns()), 0.0);
+    const size_t num_seeded =
+        std::min(options.initial_node_voltages.size(),
+                 static_cast<size_t>(v.nl->num_nodes()));
+    for (size_t node = 1; node < num_seeded; ++node) {
+      guess[static_cast<size_t>(
+          v.mna->UnknownOfNode(static_cast<netlist::NodeId>(node)))] =
+          options.initial_node_voltages[node];
+    }
+    auto op = internal::SolveDcHomotopy(*v.mna, options.dc, guess);
+    if (!op.ok()) {
+      // No bias point inside the batch; the scalar rerun reproduces the
+      // exact RunTransient failure (including its error message).
+      v.dropped = true;
+      continue;
+    }
+    v.mna->RotateStates();
+
+    std::vector<std::string> node_names;
+    node_names.reserve(static_cast<size_t>(v.nl->num_nodes()));
+    for (netlist::NodeId n = 0; n < v.nl->num_nodes(); ++n) {
+      node_names.push_back(v.nl->NodeName(n));
+    }
+    std::vector<std::string> branch_names;
+    v.nl->ForEachDevice([&](const netlist::Device& dev) {
+      if (dev.num_branches() > 0) {
+        branch_names.push_back(dev.name());
+        v.branch_unknowns.push_back(
+            static_cast<size_t>(v.mna->UnknownOfBranch(dev, 0)));
+      }
+    });
+    v.result = std::make_unique<TransientResult>(std::move(node_names),
+                                                 std::move(branch_names));
+    v.result->stats().dc_homotopy_stages = op.value().stages;
+    v.result->stats().total_newton_iterations = op.value().newton.iterations;
+    v.rec_nodes.assign(static_cast<size_t>(v.nl->num_nodes()), 0.0);
+    v.rec_branches.assign(v.branch_unknowns.size(), 0.0);
+    v.x = op.value().newton.solution;
+    v.Record(0.0, v.x);
+
+    v.mna->set_mode(netlist::AnalysisMode::kTransient);
+    v.mna->set_initializing_state(false);
+    const int n = v.mna->num_unknowns();
+    v.use_sparse = newton.solver == NewtonOptions::Solver::kSparse ||
+                   (newton.solver == NewtonOptions::Solver::kAuto && n > 256);
+    v.mna->set_sparse(v.use_sparse);
+    // Batched mode is tolerance-equivalent by contract, so the device
+    // bypass cache is always on: it is what makes per-round re-assembly
+    // cheap. The bypass window is widened to the Newton convergence
+    // tolerance itself — a device whose inputs moved by less than the
+    // tolerance the converged solution already carries can replay its
+    // stamps — so the final (confirming) round of each timepoint mostly
+    // replays instead of re-evaluating device models.
+    v.mna->set_bypass(true, std::max(newton.bypass_reltol, 3e-5),
+                      std::max(newton.bypass_abstol, 3e-8));
+    v.active = true;
+  }
+
+  // Shared factors serve the variants that match the reference dimension
+  // (structure grouping upstream makes that all of them; the engine only
+  // relies on it opportunistically). The reference is the first such
+  // variant still sharing; its round-0 Jacobian is factored once per
+  // timepoint and every sharing variant's residual update solves against
+  // it in one multi-RHS pass.
+  int ref_dim = -1;
+  bool ref_sparse = false;
+  for (Variant& v : vs) {
+    if (!v.active) continue;
+    if (ref_dim < 0) {
+      ref_dim = v.mna->num_unknowns();
+      ref_sparse = v.use_sparse;
+    }
+    v.shared_eligible =
+        v.mna->num_unknowns() == ref_dim && v.use_sparse == ref_sparse;
+  }
+  linalg::LuFactorization shared_lu;        // dense shared factors
+  linalg::SparseLu shared_sparse;           // sparse shared factors
+  const std::vector<const devices::Waveform*> sources =
+      internal::CollectSourceWaveforms(*variants[0]);
+
+  auto any_active = [&] {
+    for (const Variant& v : vs)
+      if (v.active) return true;
+    return false;
+  };
+
+  // Round-loop scratch, reused across every timepoint.
+  std::vector<Variant*> open, quasi;
+  std::vector<linalg::Vector> residuals;
+  linalg::Vector own_residual;  // reused across own-factor quasi solves
+
+  // --- shared time stepping ----------------------------------------------
+  double t = 0.0;
+  double dt = options.dt_initial;
+  while (any_active() && t < options.tstop - 1e-18) {
+    dt = std::clamp(dt, options.dt_min, options.dt_max);
+    double dt_eff = std::min(dt, options.tstop - t);
+    const double bp = internal::NextSourceBreakpoint(sources, t);
+    bool hit_breakpoint = false;
+    if (bp < t + dt_eff) {
+      dt_eff = bp - t;
+      hit_breakpoint = true;
+    }
+
+    // Seed each variant's iterate: linear extrapolation of its own last
+    // two accepted solutions. The predictor only changes the Newton
+    // starting point (tolerance-equivalent), and with it most variants
+    // converge in one or two rounds.
+    for (Variant& v : vs) {
+      if (!v.active) continue;
+      v.mna->set_time(t + dt_eff);
+      v.mna->set_dt(dt_eff);
+      v.xi = v.x;
+      if (v.dt_prev > 0.0) {
+        const double alpha = std::min(dt_eff / v.dt_prev, 2.0);
+        for (size_t i = 0; i < v.xi.size(); ++i) {
+          v.xi[i] += alpha * (v.x[i] - v.x_prev[i]);
+        }
+      }
+      v.step_converged = false;
+      v.newton_failed = false;
+      v.last_step_norm = kInf;
+    }
+
+    // Lockstep Newton rounds. Every open variant assembles its fresh
+    // Jacobian and residual; updates are solved through *stale* factors
+    // (the shared reference LU, or the variant's own persistent LU) so a
+    // factorization is only paid when dt changed or contraction stalled.
+    // A small damped step still certifies convergence because the
+    // residual it is computed from is exact — the stale factors only
+    // precondition it.
+    bool shared_ready = false;
+    for (int round = 0; round < newton.max_iterations; ++round) {
+      open.clear();
+      for (Variant& v : vs) {
+        if (v.active && !v.step_converged && !v.newton_failed) {
+          open.push_back(&v);
+        }
+      }
+      if (open.empty()) break;
+      for (Variant* v : open) {
+        v->mna->set_first_iteration(round == 0);
+        v->mna->Assemble(v->xi);
+        v->result->stats().total_newton_iterations++;
+        v->stepped_round = false;
+      }
+      bm.iterations.Add(open.size());
+      stats->newton_rounds += static_cast<int>(open.size());
+
+      // (a) shared-factor pass: one reference factorization per timepoint,
+      // one blocked multi-RHS solve per round for everyone still sharing.
+      quasi.clear();
+      for (Variant* v : open) {
+        if (v->shared_eligible && !v->own_mode) quasi.push_back(v);
+      }
+      if (!quasi.empty() && round == 0) {
+        Variant& ref = *quasi.front();
+        util::Status st =
+            ref_sparse ? shared_sparse.Refactor(ref.mna->sparse_jacobian())
+                       : shared_lu.Factor(ref.mna->jacobian());
+        shared_ready = st.ok();
+        if (!shared_ready) {
+          // Singular reference at this iterate: every sharing variant
+          // falls back to its own factors for good.
+          for (Variant* v : quasi) v->own_mode = true;
+        }
+      }
+      if (!shared_ready) quasi.clear();
+      if (!quasi.empty()) {
+        // Outer vector shrinks/grows with the quasi set but the inner
+        // buffers keep their capacity across rounds and timepoints.
+        residuals.resize(quasi.size());
+        for (size_t q = 0; q < quasi.size(); ++q) {
+          Variant* v = quasi[q];
+          linalg::Vector& r = residuals[q];
+          v->mna->MultiplyJacobian(v->xi, &r);
+          const linalg::Vector& rhs = v->mna->rhs();
+          for (size_t i = 0; i < r.size(); ++i) r[i] -= rhs[i];
+        }
+        auto solved = ref_sparse ? shared_sparse.SolveMulti(residuals)
+                                 : shared_lu.SolveMulti(residuals);
+        if (solved.ok()) {
+          stats->shared_solve_rounds++;
+          const std::vector<linalg::Vector>& steps = solved.value();
+          for (size_t q = 0; q < quasi.size(); ++q) {
+            Variant& v = *quasi[q];
+            const linalg::Vector& d = steps[q];
+            double raw = 0.0;
+            for (double s : d) raw = std::max(raw, std::fabs(s));
+            v.x_cand.resize(v.xi.size());
+            for (size_t i = 0; i < v.xi.size(); ++i) {
+              v.x_cand[i] = v.xi[i] - d[i];
+            }
+            v.x_trial = v.xi;
+            const StepOutcome o = ApplyDampedUpdate(
+                newton, v.mna->num_node_unknowns(), v.x_cand, v.x_trial);
+            if (o.nonfinite) {
+              v.own_mode = true;  // retry through own fresh factors below
+            } else if (o.converged) {
+              v.xi.swap(v.x_trial);
+              v.step_converged = true;
+              v.stepped_round = true;
+            } else if (round > 0 &&
+                       raw > kQuasiContraction * v.last_step_norm) {
+              // Contraction stalled: this variant's Jacobian has drifted
+              // too far from the shared reference — own factors from now
+              // on (handled below, this same round).
+              v.own_mode = true;
+            } else {
+              v.xi.swap(v.x_trial);
+              v.last_step_norm = raw;
+              v.stepped_round = true;
+            }
+          }
+        } else {
+          for (Variant* v : quasi) v->own_mode = true;
+        }
+      }
+
+      // (b) own-factor pass: quasi-step through the variant's persistent
+      // (possibly stale) factors; refresh them only when dt changed since
+      // they were computed, a solve failed, or contraction stalled.
+      for (Variant* vp : open) {
+        Variant& v = *vp;
+        if (!v.own_mode || v.step_converged || v.newton_failed ||
+            v.stepped_round) {
+          continue;
+        }
+        bool refresh = !v.own_valid || v.own_dt != dt_eff;
+        if (!refresh) {
+          linalg::Vector& r = own_residual;
+          v.mna->MultiplyJacobian(v.xi, &r);
+          const linalg::Vector& rhs = v.mna->rhs();
+          for (size_t i = 0; i < r.size(); ++i) r[i] -= rhs[i];
+          auto solved = v.use_sparse ? v.mna->sparse_solver().Solve(r)
+                                     : v.own_lu.Solve(r);
+          if (!solved.ok()) {
+            refresh = true;
+          } else {
+            const linalg::Vector& d = solved.value();
+            double raw = 0.0;
+            for (double s : d) raw = std::max(raw, std::fabs(s));
+            v.x_cand.resize(v.xi.size());
+            for (size_t i = 0; i < v.xi.size(); ++i) {
+              v.x_cand[i] = v.xi[i] - d[i];
+            }
+            v.x_trial = v.xi;
+            const StepOutcome o = ApplyDampedUpdate(
+                newton, v.mna->num_node_unknowns(), v.x_cand, v.x_trial);
+            if (o.nonfinite) {
+              refresh = true;
+            } else if (o.converged) {
+              v.xi.swap(v.x_trial);
+              v.step_converged = true;
+            } else if (round > 0 &&
+                       raw > kQuasiContraction * v.last_step_norm) {
+              refresh = true;  // stale factors stopped contracting
+            } else {
+              v.xi.swap(v.x_trial);
+              v.last_step_norm = raw;
+            }
+          }
+        }
+        if (refresh && !v.step_converged) {
+          util::Status st =
+              v.use_sparse
+                  ? v.mna->sparse_solver().Refactor(v.mna->sparse_jacobian())
+                  : v.own_lu.Factor(v.mna->jacobian());
+          if (!st.ok()) {
+            v.own_valid = false;
+            v.newton_failed = true;
+            continue;
+          }
+          v.own_valid = true;
+          v.own_dt = dt_eff;
+          stats->own_factorizations++;
+          auto solved = v.use_sparse
+                            ? v.mna->sparse_solver().Solve(v.mna->rhs())
+                            : v.own_lu.Solve(v.mna->rhs());
+          if (!solved.ok()) {
+            v.newton_failed = true;
+            continue;
+          }
+          // Fresh factors from this round's Jacobian: this is the scalar
+          // engine's exact Newton step, acceptance rule and all.
+          const StepOutcome o = ApplyDampedUpdate(
+              newton, v.mna->num_node_unknowns(), solved.value(), v.xi);
+          v.last_step_norm = o.step_norm;
+          if (o.nonfinite) {
+            v.newton_failed = true;
+          } else if (o.converged) {
+            v.step_converged = true;
+          }
+        }
+      }
+    }
+    for (Variant& v : vs) {
+      if (v.active && !v.step_converged && !v.newton_failed) {
+        v.newton_failed = true;  // round budget exhausted
+      }
+    }
+
+    // --- unanimous step control ------------------------------------------
+    bool any_failed = false;
+    for (Variant& v : vs) {
+      if (v.active && v.newton_failed) any_failed = true;
+    }
+    if (any_failed) {
+      const bool at_floor = dt_eff <= options.dt_min * 1.001;
+      for (Variant& v : vs) {
+        if (!v.active) continue;
+        v.mna->ResetCurrentStates();
+        v.result->stats().rejected_steps++;
+        v.result->stats().newton_rejections++;
+        bm.rejected.Increment();
+        if (!v.newton_failed) continue;
+        v.rejections_caused++;
+        if (at_floor || v.rejections_caused > kMaxRejectionsPerVariant) {
+          // Where the scalar engine would stall (or where this variant
+          // keeps dragging the batch), the variant leaves the batch and
+          // reruns on the exact scalar path.
+          v.active = false;
+          v.dropped = true;
+        }
+      }
+      if (!at_floor) dt = dt_eff / 4.0;
+      continue;
+    }
+
+    double batch_max_change = 0.0;
+    for (Variant& v : vs) {
+      if (!v.active) continue;
+      v.max_change = 0.0;
+      const int n_nodes = v.mna->num_node_unknowns();
+      for (int i = 0; i < n_nodes; ++i) {
+        v.max_change = std::max(
+            v.max_change,
+            std::fabs(v.xi[static_cast<size_t>(i)] - v.x[static_cast<size_t>(i)]));
+      }
+      batch_max_change = std::max(batch_max_change, v.max_change);
+    }
+    if (batch_max_change > options.max_voltage_step &&
+        dt_eff > options.dt_min * 1.001) {
+      for (Variant& v : vs) {
+        if (!v.active) continue;
+        v.mna->ResetCurrentStates();
+        v.result->stats().rejected_steps++;
+        v.result->stats().lte_rejections++;
+        bm.rejected.Increment();
+        if (v.max_change > options.max_voltage_step) {
+          v.rejections_caused++;
+          if (v.rejections_caused > kMaxRejectionsPerVariant) {
+            v.active = false;
+            v.dropped = true;
+          }
+        }
+      }
+      dt = std::max(options.dt_min,
+                    dt_eff * 0.8 * options.max_voltage_step / batch_max_change);
+      continue;
+    }
+
+    // Accept for every active variant.
+    t += dt_eff;
+    for (Variant& v : vs) {
+      if (!v.active) continue;
+      v.x_prev = std::move(v.x);
+      v.x = v.xi;
+      v.dt_prev = dt_eff;
+      v.mna->RotateStates();
+      v.Record(t, v.x);
+      v.result->stats().accepted_steps++;
+      stats->accepted_steps++;
+      bm.accepted.Increment();
+      if (hit_breakpoint) v.result->stats().breakpoint_hits++;
+    }
+    if (hit_breakpoint) {
+      dt = options.dt_initial;  // resolve the new edge finely
+    } else if (batch_max_change < 0.3 * options.max_voltage_step) {
+      dt = dt_eff * options.growth_factor;
+    } else {
+      dt = dt_eff;
+    }
+  }
+
+  // --- harvest -----------------------------------------------------------
+  for (size_t i = 0; i < vs.size(); ++i) {
+    Variant& v = vs[i];
+    if (v.dropped) {
+      bm.fallbacks.Increment();
+      stats->fallbacks++;
+      out[i] = RunTransient(*v.nl, options);
+    } else {
+      out[i] = std::move(*v.result);
+    }
+  }
+  return out;
+}
+
+}  // namespace cmldft::sim

@@ -1,0 +1,53 @@
+// Batched multi-variant transient analysis: K netlist variants advance
+// through ONE shared adaptive time-stepping loop.
+//
+// Motivation (docs/performance.md, "Batched defect screening"): defect
+// screening simulates the same circuit K times with tiny structural
+// perturbations. Running the variants in lockstep on a shared grid lets
+// the engine amortize the per-step machinery (step control, breakpoint
+// scanning) and — the dominant win — solve the variants' Newton updates
+// against one shared LU factorization with a blocked multi-RHS
+// substitution (linalg SolveMulti), refactoring per variant only when a
+// variant's Jacobian diverges from the shared reference.
+//
+// Semantics: tolerance-equivalent, not bit-identical, to per-variant
+// RunTransient (the same contract as NewtonOptions::bypass and
+// jacobian_reuse, which this engine builds on). Variants converge under
+// the exact scalar Newton tolerances, but quasi-Newton steps through
+// shared factors and the shared grid perturb trajectories within solver
+// tolerance. Downstream fault *classifications* are empirically
+// bit-identical and regression-tested against the scalar engine. A
+// variant that fights the shared grid (t=0 failure, repeated rejections,
+// stall) drops out of the batch and is rerun on the exact scalar path —
+// its result is precisely what RunTransient would have produced.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/options.h"
+#include "sim/transient.h"
+#include "util/status.h"
+
+namespace cmldft::sim {
+
+/// Per-batch engine statistics (aggregated over all variants).
+struct BatchTransientStats {
+  int variants = 0;           ///< variants entering the batch
+  int fallbacks = 0;          ///< variants rerun on the exact scalar path
+  int shared_solve_rounds = 0;  ///< multi-RHS rounds against shared factors
+  int own_factorizations = 0;   ///< per-variant refactorizations (divergence)
+  int newton_rounds = 0;      ///< per-variant Newton assembles, summed
+  int accepted_steps = 0;     ///< per-variant accepted timepoints, summed
+};
+
+/// Advance every variant netlist from t=0 to options.tstop on one shared
+/// adaptive grid. Returns one entry per variant, in input order. Entries
+/// for variants that dropped out of the batch are produced by an internal
+/// scalar RunTransient rerun, so callers observe the exact one-at-a-time
+/// result (including its error Status) for hard variants.
+std::vector<util::StatusOr<TransientResult>> RunBatchedTransient(
+    const std::vector<const netlist::Netlist*>& variants,
+    const TransientOptions& options, BatchTransientStats* stats = nullptr);
+
+}  // namespace cmldft::sim

@@ -52,8 +52,15 @@ class MnaSystem : public netlist::StampContext {
   // --- analysis configuration (set by the engines) ----------------------
   // Setters bump the stamp epoch on a value change so cached device
   // contributions from a different context are never replayed.
+  // Setters for time/dt/state bump only the stamp epoch; the rest also
+  // bump the context epoch (ctx_epoch_). Bypass distinguishes the two: a
+  // stamp-epoch change alone (the clock advanced, a step was accepted) is
+  // survivable for a dynamic device because everything such a device reads
+  // — its inputs, its previous state, dt — is re-validated against the
+  // cache, while a context-epoch change (mode, method, gmin, temperature,
+  // source scale, initialization) always invalidates.
   void set_mode(netlist::AnalysisMode m) {
-    if (mode_ != m) { mode_ = m; ++stamp_epoch_; }
+    if (mode_ != m) { mode_ = m; ++stamp_epoch_; ++ctx_epoch_; }
   }
   void set_time(double t) {
     if (time_ != t) { time_ = t; ++stamp_epoch_; }
@@ -62,13 +69,13 @@ class MnaSystem : public netlist::StampContext {
     if (dt_ != dt) { dt_ = dt; ++stamp_epoch_; }
   }
   void set_method(netlist::IntegrationMethod m) {
-    if (method_ != m) { method_ = m; ++stamp_epoch_; }
+    if (method_ != m) { method_ = m; ++stamp_epoch_; ++ctx_epoch_; }
   }
   void set_gmin(double g) {
-    if (gmin_ != g) { gmin_ = g; ++stamp_epoch_; }
+    if (gmin_ != g) { gmin_ = g; ++stamp_epoch_; ++ctx_epoch_; }
   }
   void set_temperature(double t) {
-    if (temperature_ != t) { temperature_ = t; ++stamp_epoch_; }
+    if (temperature_ != t) { temperature_ = t; ++stamp_epoch_; ++ctx_epoch_; }
   }
   // first_iteration is advisory (no device model consults it — see the
   // contract in StampContext), so it is deliberately excluded from the
@@ -76,16 +83,21 @@ class MnaSystem : public netlist::StampContext {
   // between the first and second iteration of each solve.
   void set_first_iteration(bool b) { first_iteration_ = b; }
   void set_source_scale(double s) {
-    if (source_scale_ != s) { source_scale_ = s; ++stamp_epoch_; }
+    if (source_scale_ != s) { source_scale_ = s; ++stamp_epoch_; ++ctx_epoch_; }
   }
   void set_initializing_state(bool b) {
-    if (initializing_state_ != b) { initializing_state_ = b; ++stamp_epoch_; }
+    if (initializing_state_ != b) {
+      initializing_state_ = b;
+      ++stamp_epoch_;
+      ++ctx_epoch_;
+    }
   }
 
   /// Assemble Jacobian and RHS at the given iterate (solving J x = rhs
   /// yields the next Newton iterate directly). In sparse mode the Jacobian
   /// goes into sparse_jacobian() instead of jacobian().
   void Assemble(const linalg::Vector& iterate);
+
 
   /// Route stamps into a sparse builder instead of the dense matrix
   /// (worth it above a few hundred unknowns; results are identical).
@@ -99,6 +111,8 @@ class MnaSystem : public netlist::StampContext {
   /// y = J x with the currently assembled Jacobian (dense or sparse).
   /// Used by the Jacobian-reuse path to form residuals without factoring.
   linalg::Vector MultiplyJacobian(const linalg::Vector& x) const;
+  /// Same, into a caller-owned buffer (bit-identical; no allocation).
+  void MultiplyJacobian(const linalg::Vector& x, linalg::Vector* y) const;
 
   /// Persistent sparse solver: because the MNA sparsity pattern is fixed
   /// for the lifetime of this system, the solver's symbolic factorization
@@ -128,6 +142,14 @@ class MnaSystem : public netlist::StampContext {
   /// a bounded model error — see NewtonOptions::bypass.
   void set_bypass(bool enabled, double reltol, double abstol);
   bool bypass() const { return bypass_; }
+
+  /// True when the last Assemble() replayed every device from the bypass
+  /// cache: the assembled Jacobian and RHS are bit-identical to the
+  /// assembly that populated the caches, so a factorization taken from
+  /// that assembly is still exact and callers may skip refactoring.
+  bool last_assemble_all_bypassed() const {
+    return last_assemble_all_bypassed_;
+  }
 
   /// Drop all cached device contributions. Engines must call this after
   /// mutating a device in place (e.g. a source sweep rewriting a waveform)
@@ -214,9 +236,13 @@ class MnaSystem : public netlist::StampContext {
   void RecordAssemble();
   bool ReplayAssemble();  // false on plan mismatch (plan is dropped)
   void CompilePlan();
-  bool CanBypass(size_t index) const;
-  void ReplayFromCache(const DeviceSpan& span);
+  // Which cache way (0 = primary, 1 = alternate) may serve this device's
+  // stamp, or -1 to re-evaluate the model.
+  int CanBypassWay(size_t index) const;
+  bool CanBypassAlt(size_t index) const;
+  void ReplayFromCache(const DeviceSpan& span, bool alt);
   void CaptureCache(size_t index);
+  void PromoteCacheToAlt(size_t index);
 
   // Stamp write routing shared by all Add* overrides.
   void StampMatrix(int r, int c, double v);
@@ -274,11 +300,53 @@ class MnaSystem : public netlist::StampContext {
   double bypass_reltol_ = 0.0;
   double bypass_abstol_ = 0.0;
   uint64_t stamp_epoch_ = 1;
+  uint64_t ctx_epoch_ = 1;  // stamp_epoch_ minus time/dt/state changes
   std::vector<double> mat_vals_;    // captured matrix values, per plan entry
   std::vector<double> rhs_vals_;    // captured RHS values
   std::vector<double> state_vals_;  // captured state values
   std::vector<uint8_t> cache_valid_;       // per device
   std::vector<uint64_t> cache_epoch_;      // per device
+  std::vector<uint64_t> cache_ctx_epoch_;  // per device
+  std::vector<double> cache_dt_;           // per device: dt at capture
+  // Alternate (second) cache way. The trapezoidal rule is A- but not
+  // L-stable: companion-current states of fast poles ring at the grid's
+  // Nyquist rate forever, alternating between two values step after step,
+  // so a single-entry cache keyed on "inputs unchanged" can never hit
+  // across timepoints. Before a re-evaluation overwrites a cache captured
+  // at an older timepoint, the old entry is demoted to this alternate way;
+  // in a period-2 ripple the two ways converge to the two ripple phases
+  // and the device stops evaluating entirely until the ripple drifts out
+  // of tolerance. The alternate way serves cross-timepoint hits only, so
+  // it keeps no stamp-epoch tag — just the context/dt/state/input
+  // snapshot the cross-epoch check validates.
+  std::vector<double> mat_vals_alt_;
+  std::vector<double> rhs_vals_alt_;
+  std::vector<double> state_vals_alt_;
+  std::vector<uint8_t> cache_valid_alt_;
+  std::vector<uint64_t> cache_ctx_epoch_alt_;
+  std::vector<double> cache_dt_alt_;
+  std::vector<double> input_cache_alt_;
+  std::vector<double> state_input_vals_alt_;
+  bool last_assemble_all_bypassed_ = false;
+  // Dynamic device whose stamp never reads ctx.time(): may bypass across
+  // a stamp-epoch change once context, dt, inputs, AND previous state all
+  // check out (has_time_dependent_stamp() == false at compile time).
+  std::vector<uint8_t> time_free_;
+  // Previous-state values each SetState slot's device observed at capture
+  // time, parallel to state_plan_ (companion models read and write the
+  // same slots). Compared against the bypass tolerance relative to the
+  // slot's SCALE, not its instantaneous value: state magnitudes (charges
+  // ~ C*V, junction currents) have no common absolute unit, so each slot
+  // tracks the largest magnitude it has ever carried and tolerates drift
+  // up to bypass_reltol * that scale. A pure |cached|-relative bound
+  // would pin the tolerance to zero whenever a state crosses zero, which
+  // permanently disables bypass for every companion model with an
+  // oscillating or settling state; scaling by the historical magnitude
+  // bounds the replayed companion-current error by the same relative
+  // error the input check already accepts at the slot's real signal
+  // level.
+  std::vector<double> state_input_vals_;
+  std::vector<double> state_scale_;  // running max |state| per slot
   // Input layout compiled with the plan: device i's inputs are
   // input_cache_[input_cache_offset_[i] .. input_cache_offset_[i + 1]),
   // and input_unknowns_ holds the unknown index each input reads from

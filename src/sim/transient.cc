@@ -9,6 +9,7 @@
 #include "sim/dc_internal.h"
 #include "sim/mna.h"
 #include "sim/newton.h"
+#include "sim/transient_internal.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/telemetry.h"
@@ -16,8 +17,6 @@
 namespace cmldft::sim {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
 struct TranMetrics {
   util::telemetry::Counter runs = util::telemetry::GetCounter("sim.tran.runs");
   util::telemetry::Counter accepted_steps =
@@ -46,31 +45,8 @@ const TranMetrics& Metrics() {
 // Registered at load time for a code-path-independent snapshot schema.
 [[maybe_unused]] const TranMetrics& kEagerRegistration = Metrics();
 
-// Source waveforms collected once per analysis — the stepping loop asks
-// for the next breakpoint on every step, and scanning all devices with
-// string kind() comparisons each time is measurable on long transients.
-std::vector<const devices::Waveform*> CollectSourceWaveforms(
-    const netlist::Netlist& nl) {
-  std::vector<const devices::Waveform*> out;
-  nl.ForEachDevice([&](const netlist::Device& dev) {
-    if (dev.kind() == "vsource") {
-      out.push_back(&static_cast<const devices::VSource&>(dev).waveform());
-    } else if (dev.kind() == "isource") {
-      out.push_back(&static_cast<const devices::ISource&>(dev).waveform());
-    }
-  });
-  return out;
-}
-
-// Earliest waveform corner strictly after `t` across the cached sources.
-double NextSourceBreakpoint(const std::vector<const devices::Waveform*>& sources,
-                            double t) {
-  double next = kInf;
-  for (const devices::Waveform* w : sources) {
-    next = std::min(next, w->NextBreakpoint(t));
-  }
-  return next;
-}
+using internal::CollectSourceWaveforms;
+using internal::NextSourceBreakpoint;
 }  // namespace
 
 TransientResult::TransientResult(std::vector<std::string> node_names,

@@ -1,0 +1,40 @@
+// Helpers shared by the scalar (transient.cc) and batched (batch.cc)
+// transient engines: source-waveform collection and breakpoint scanning.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "devices/sources.h"
+#include "netlist/netlist.h"
+
+namespace cmldft::sim::internal {
+
+// Source waveforms collected once per analysis — the stepping loop asks
+// for the next breakpoint on every step, and scanning all devices with
+// string kind() comparisons each time is measurable on long transients.
+inline std::vector<const devices::Waveform*> CollectSourceWaveforms(
+    const netlist::Netlist& nl) {
+  std::vector<const devices::Waveform*> out;
+  nl.ForEachDevice([&](const netlist::Device& dev) {
+    if (dev.kind() == "vsource") {
+      out.push_back(&static_cast<const devices::VSource&>(dev).waveform());
+    } else if (dev.kind() == "isource") {
+      out.push_back(&static_cast<const devices::ISource&>(dev).waveform());
+    }
+  });
+  return out;
+}
+
+// Earliest waveform corner strictly after `t` across the cached sources.
+inline double NextSourceBreakpoint(
+    const std::vector<const devices::Waveform*>& sources, double t) {
+  double next = std::numeric_limits<double>::infinity();
+  for (const devices::Waveform* w : sources) {
+    next = std::min(next, w->NextBreakpoint(t));
+  }
+  return next;
+}
+
+}  // namespace cmldft::sim::internal

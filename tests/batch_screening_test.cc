@@ -1,0 +1,196 @@
+// Batched defect screening: structure-signature grouping invariants and
+// batched-vs-scalar classification bit-identity.
+//
+// Grouping (core/batch_screening.h) is a pure partition: every selected
+// defect lands in exactly one structure group and exactly one batch
+// chunk, chunks never exceed K or mix matrix structures, and the plan
+// depends only on the selection order and K — never on thread count.
+// The screening tests then pin the engine-level contract from
+// docs/performance.md: batched screening (sim/batch.h) may perturb
+// waveforms within solver tolerance, but every DefectOutcome field that
+// feeds classification must be bit-identical to the scalar engine over
+// the full coverage_comparison universe, at any K and any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch_screening.h"
+#include "core/screening.h"
+#include "defects/defect.h"
+#include "util/rng.h"
+
+namespace cmldft {
+namespace {
+
+// The campaign "coverage_comparison" preset (campaign/runner.cc), inlined
+// so this test exercises the exact universe the flagship benchmark and
+// the BENCH_perf.json speedup measurement screen.
+core::ScreeningOptions CoverageComparisonOptions() {
+  core::ScreeningOptions opt;
+  opt.chain_length = 3;
+  opt.sim_time = 50e-9;
+  opt.detector.load_cap = 1e-12;
+  opt.enumeration.pipe_values = {1e3, 2e3, 4e3, 8e3};
+  return opt;
+}
+
+// A random subset of universe ids in a random order — campaign shards and
+// resume sets hand PlanBatches arbitrary selection orders, not just
+// ascending prefixes.
+std::vector<uint64_t> RandomSelection(util::Rng& rng, size_t universe_size) {
+  std::vector<uint64_t> selected;
+  for (uint64_t id = 0; id < universe_size; ++id) {
+    if (rng.NextBool(0.6)) selected.push_back(id);
+  }
+  // Fisher-Yates with the repo Rng so the order is reproducible.
+  for (size_t i = selected.size(); i > 1; --i) {
+    std::swap(selected[i - 1], selected[rng.NextBelow(i)]);
+  }
+  return selected;
+}
+
+TEST(BatchGrouping, RandomizedSelectionsPartitionExactlyOnce) {
+  const std::vector<defects::Defect> universe =
+      core::ScreeningUniverse(CoverageComparisonOptions());
+  ASSERT_GT(universe.size(), 20u);
+  // Both structure signatures must be present, or the partition test is
+  // vacuous (additive = pipes/shorts/bridges, node-split = opens).
+  bool saw_additive = false, saw_split = false;
+  for (const defects::Defect& d : universe) {
+    (core::StructureSignatureOf(d) == core::DefectStructure::kAdditive
+         ? saw_additive
+         : saw_split) = true;
+  }
+  ASSERT_TRUE(saw_additive);
+  ASSERT_TRUE(saw_split);
+
+  util::Rng rng(20260809);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<uint64_t> selected = RandomSelection(rng, universe.size());
+    if (selected.empty()) continue;
+
+    const auto groups = core::GroupByStructure(universe, selected);
+    std::vector<int> seen(selected.size(), 0);
+    for (const core::BatchGroup& g : groups) {
+      EXPECT_FALSE(g.positions.empty());
+      EXPECT_TRUE(std::is_sorted(g.positions.begin(), g.positions.end()));
+      for (size_t pos : g.positions) {
+        ASSERT_LT(pos, selected.size());
+        ++seen[pos];
+        EXPECT_EQ(core::StructureSignatureOf(universe[selected[pos]]),
+                  g.structure)
+            << "trial " << trial << " position " << pos;
+      }
+    }
+    for (size_t pos = 0; pos < selected.size(); ++pos) {
+      EXPECT_EQ(seen[pos], 1) << "trial " << trial << " position " << pos
+                              << " appears in " << seen[pos] << " groups";
+    }
+
+    for (int batch : {1, 2, 3, 8, 64}) {
+      const auto chunks = core::PlanBatches(universe, selected, batch);
+      std::fill(seen.begin(), seen.end(), 0);
+      for (const core::BatchChunk& c : chunks) {
+        EXPECT_FALSE(c.positions.empty());
+        EXPECT_LE(c.positions.size(), static_cast<size_t>(batch));
+        EXPECT_TRUE(std::is_sorted(c.positions.begin(), c.positions.end()));
+        for (size_t pos : c.positions) {
+          ASSERT_LT(pos, selected.size());
+          ++seen[pos];
+          EXPECT_EQ(core::StructureSignatureOf(universe[selected[pos]]),
+                    c.structure);
+        }
+      }
+      for (size_t pos = 0; pos < selected.size(); ++pos) {
+        EXPECT_EQ(seen[pos], 1)
+            << "trial " << trial << " K=" << batch << " position " << pos;
+      }
+      // The plan is a pure function of (selection order, K): replanning
+      // must reproduce it exactly. Thread count never enters the API.
+      const auto replay = core::PlanBatches(universe, selected, batch);
+      ASSERT_EQ(replay.size(), chunks.size());
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(replay[i].structure, chunks[i].structure);
+        EXPECT_EQ(replay[i].positions, chunks[i].positions);
+      }
+    }
+  }
+}
+
+// The batched engine's contract (sim/batch.h): classifications and every
+// boolean feeding them are bit-identical to the scalar engine; the raw
+// measured doubles are tolerance-equivalent — quasi-Newton steps through
+// shared factors and the shared grid perturb waveforms within solver
+// tolerance. `exact_doubles` tightens the doubles to bit-identity, which
+// must hold when batching is off (K=1 is the exact scalar path, and
+// thread count never changes per-defect computation).
+void ExpectEquivalentOutcomes(const core::ScreeningReport& ref,
+                              const core::ScreeningReport& got,
+                              const char* label, bool exact_doubles) {
+  ASSERT_EQ(ref.total(), got.total()) << label;
+  for (int i = 0; i < ref.total(); ++i) {
+    const core::DefectOutcome& a = ref.outcomes[static_cast<size_t>(i)];
+    const core::DefectOutcome& b = got.outcomes[static_cast<size_t>(i)];
+    ASSERT_EQ(a.defect.Id(), b.defect.Id()) << label;
+    EXPECT_EQ(a.Classify(), b.Classify()) << label << " " << a.defect.Id();
+    EXPECT_EQ(a.converged, b.converged) << label << " " << a.defect.Id();
+    EXPECT_EQ(a.logic_fail, b.logic_fail) << label << " " << a.defect.Id();
+    EXPECT_EQ(a.delay_fail, b.delay_fail) << label << " " << a.defect.Id();
+    EXPECT_EQ(a.iddq_fail, b.iddq_fail) << label << " " << a.defect.Id();
+    EXPECT_EQ(a.amplitude_detected, b.amplitude_detected)
+        << label << " " << a.defect.Id();
+    if (exact_doubles) {
+      EXPECT_EQ(a.min_detector_vout, b.min_detector_vout)
+          << label << " " << a.defect.Id();
+      EXPECT_EQ(a.max_gate_amplitude, b.max_gate_amplitude)
+          << label << " " << a.defect.Id();
+      EXPECT_EQ(a.supply_current, b.supply_current)
+          << label << " " << a.defect.Id();
+    } else {
+      // Observed drift on this universe tops out near 2e-3 relative; a
+      // 1% band keeps the measurements honest without re-litigating
+      // solver tolerance.
+      auto band = [](double v) { return 1e-2 * std::max(1.0, std::fabs(v)); };
+      EXPECT_NEAR(a.min_detector_vout, b.min_detector_vout,
+                  band(a.min_detector_vout))
+          << label << " " << a.defect.Id();
+      EXPECT_NEAR(a.max_gate_amplitude, b.max_gate_amplitude,
+                  band(a.max_gate_amplitude))
+          << label << " " << a.defect.Id();
+      EXPECT_NEAR(a.supply_current, b.supply_current, band(a.supply_current))
+          << label << " " << a.defect.Id();
+    }
+  }
+  EXPECT_EQ(ref.ConventionalCoverage(), got.ConventionalCoverage()) << label;
+  EXPECT_EQ(ref.CombinedCoverage(), got.CombinedCoverage()) << label;
+}
+
+// Full coverage_comparison universe, batched at every K the benchmark
+// sweeps, on an odd thread count (chunk planning must not feel it).
+// Reference is the serial exact scalar engine.
+TEST(BatchedScreening, BitIdenticalToScalarAcrossKAndThreads) {
+  core::ScreeningOptions scalar_opt = CoverageComparisonOptions();
+  scalar_opt.threads = 1;
+  scalar_opt.batch = 1;
+  auto scalar = core::ScreenBufferChain(scalar_opt);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  ASSERT_GT(scalar->total(), 0);
+
+  for (int batch : {1, 2, 8, 64}) {
+    core::ScreeningOptions opt = CoverageComparisonOptions();
+    opt.threads = 3;  // odd, and != 1: exercises parallel chunk dispatch
+    opt.batch = batch;
+    auto batched = core::ScreenBufferChain(opt);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    std::string label = "batch=" + std::to_string(batch);
+    ExpectEquivalentOutcomes(*scalar, *batched, label.c_str(),
+                             /*exact_doubles=*/batch == 1);
+  }
+}
+
+}  // namespace
+}  // namespace cmldft

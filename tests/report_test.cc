@@ -271,5 +271,85 @@ TEST(Golden, GbenchMultiplicityDriftIsDetected) {
                    .ok());
 }
 
+// google-benchmark JSON with release provenance context and per-name
+// cpu_time values, for the tolerant perf gate.
+Json GbenchPerf(std::initializer_list<std::pair<const char*, double>> runs,
+                const char* library_build_type = "release") {
+  Json j = Json::Object();
+  Json ctx = Json::Object();
+  ctx.Set("cmldft_build_type", Json::Str("Release"));
+  ctx.Set("cmldft_assertions", Json::Str("disabled"));
+  if (library_build_type != nullptr) {
+    ctx.Set("library_build_type", Json::Str(library_build_type));
+  }
+  j.Set("context", std::move(ctx));
+  Json arr = Json::Array();
+  for (const auto& [name, cpu] : runs) {
+    Json b = Json::Object();
+    b.Set("name", Json::Str(name));
+    b.Set("run_type", Json::Str("iteration"));
+    b.Set("cpu_time", Json::Number(cpu));
+    arr.Append(std::move(b));
+  }
+  j.Set("benchmarks", std::move(arr));
+  return j;
+}
+
+const std::vector<std::string> kGatedFamilies = {"BM_TransientFastPath",
+                                                 "BM_BatchedScreen"};
+
+TEST(Golden, BenchPerfWithinToleranceAndFasterPass) {
+  const Json base = GbenchPerf({{"BM_TransientFastPath/0", 100.0},
+                               {"BM_BatchedScreen/8", 200.0}});
+  // +15% and -40%: both inside a 20% regression gate.
+  const Json run = GbenchPerf({{"BM_TransientFastPath/0", 115.0},
+                              {"BM_BatchedScreen/8", 120.0}});
+  const GoldenDiff d = CompareGbenchPerf(run, base, 0.20, kGatedFamilies);
+  EXPECT_TRUE(d.ok()) << d.Summary();
+  EXPECT_EQ(d.values_compared, 2);
+}
+
+TEST(Golden, BenchPerfRegressionBeyondToleranceFails) {
+  const Json base = GbenchPerf({{"BM_TransientFastPath/0", 100.0}});
+  const Json run = GbenchPerf({{"BM_TransientFastPath/0", 121.0}});
+  EXPECT_FALSE(CompareGbenchPerf(run, base, 0.20, kGatedFamilies).ok());
+  // The same run passes a looser gate.
+  EXPECT_TRUE(CompareGbenchPerf(run, base, 0.25, kGatedFamilies).ok());
+}
+
+TEST(Golden, BenchPerfIgnoresUngatedFamilies) {
+  // A 10x regression outside the gated families is not this gate's
+  // business (the structural --gbench check still pins the name list).
+  const Json base = GbenchPerf({{"BM_DenseLuFactorSolve/64", 10.0}});
+  const Json run = GbenchPerf({{"BM_DenseLuFactorSolve/64", 100.0}});
+  const GoldenDiff d = CompareGbenchPerf(run, base, 0.20, kGatedFamilies);
+  EXPECT_TRUE(d.ok()) << d.Summary();
+  EXPECT_EQ(d.values_compared, 0);
+}
+
+TEST(Golden, BenchPerfMissingGatedBenchmarkIsDrift) {
+  const Json base = GbenchPerf({{"BM_BatchedScreen/8", 200.0}});
+  const Json run = GbenchPerf({{"BM_TransientFastPath/0", 100.0}});
+  EXPECT_FALSE(CompareGbenchPerf(run, base, 0.20, kGatedFamilies).ok());
+}
+
+TEST(Golden, BenchPerfProvenanceMismatchBeatsTimings) {
+  // The committed-baseline bug this gate exists to catch: a baseline
+  // whose harness library was built debug must not be silently compared
+  // against a release-harness run (and vice versa) — even when every
+  // timing is within tolerance.
+  const Json base = GbenchPerf({{"BM_TransientFastPath/0", 100.0}}, "debug");
+  const Json run = GbenchPerf({{"BM_TransientFastPath/0", 100.0}}, "release");
+  EXPECT_FALSE(CompareGbenchPerf(run, base, 0.20, kGatedFamilies).ok());
+  // Consistent flavours (even both-debug) compare fine — the tag must
+  // simply be present and agree on both sides.
+  const Json run2 = GbenchPerf({{"BM_TransientFastPath/0", 100.0}}, "debug");
+  EXPECT_TRUE(CompareGbenchPerf(run2, base, 0.20, kGatedFamilies).ok());
+  // A report missing the tag entirely is a provenance failure too.
+  const Json untagged =
+      GbenchPerf({{"BM_TransientFastPath/0", 100.0}}, nullptr);
+  EXPECT_FALSE(CompareGbenchPerf(untagged, base, 0.20, kGatedFamilies).ok());
+}
+
 }  // namespace
 }  // namespace cmldft::report

@@ -36,7 +36,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --store <path.campaign> [--shard i/N] [--preset NAME]\n"
       "          [--resume] [--overwrite] [--threads N] [--fsync-batch N]\n"
-      "          [--telemetry <path.json>] [--abort-after-bytes N]\n"
+      "          [--batch K] [--telemetry <path.json>]\n"
+      "          [--abort-after-bytes N]\n"
       "presets: coverage_comparison (default), quick\n",
       argv0);
   return 2;
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool overwrite = false;
   int threads = 0;
+  int batch = 1;
   int fsync_batch = 8;
   unsigned long long abort_at_bytes = 0;
 
@@ -78,6 +80,15 @@ int main(int argc, char** argv) {
       overwrite = true;
     } else if (arg == "--threads") {
       threads = std::atoi(next("--threads"));
+    } else if (arg == "--batch") {
+      // Batched screening (docs/performance.md): K defect variants per
+      // shared Newton/transient loop. Classifications are identical to
+      // the scalar path, so shards produced at different K merge cleanly.
+      batch = std::atoi(next("--batch"));
+      if (batch < 1) {
+        std::fprintf(stderr, "%s: --batch requires a positive K\n", argv[0]);
+        return 2;
+      }
     } else if (arg == "--fsync-batch") {
       fsync_batch = std::atoi(next("--fsync-batch"));
     } else if (arg == "--abort-after-bytes") {
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
   }
   opt.screening = *screening;
   opt.screening.threads = threads;
+  opt.screening.batch = batch;
   auto shard = campaign::ParseShardSpec(shard_spec);
   if (!shard.ok()) {
     std::fprintf(stderr, "%s\n", shard.status().ToString().c_str());
