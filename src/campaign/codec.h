@@ -23,6 +23,13 @@ enum class RecordType : uint8_t {
   kReference = 1,
   /// One completed defect outcome, keyed by its universe unit id.
   kOutcome = 2,
+  /// Pattern-coverage sweep suite description (pattern_campaign.h; one per
+  /// store, written first). Tagged here so all `.campaign` record types
+  /// share one registry and a store of the wrong kind decodes to a clear
+  /// error instead of garbage.
+  kPatternSuite = 3,
+  /// One completed pattern-coverage sweep unit (pattern_campaign.h).
+  kPatternUnit = 4,
 };
 
 /// A parsed store record: `type` says which of the two payloads is live.

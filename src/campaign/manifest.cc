@@ -46,4 +46,36 @@ report::Report BuildCampaignManifest(const MergeResult& merged) {
   return rep;
 }
 
+report::Report BuildPatternCampaignManifest(const PatternMergeResult& merged) {
+  using report::Tol;
+  report::Report rep(
+      "pattern_campaign_manifest",
+      "§6.6 (toggle coverage vs pattern count, recombined from shards)",
+      "merged shard stores of a durable pattern-coverage campaign");
+
+  rep.AddText("fingerprint",
+              util::StrPrintf("%016llx",
+                              static_cast<unsigned long long>(
+                                  merged.fingerprint)));
+  rep.AddInt("total_units", static_cast<long long>(merged.total_units));
+  rep.AddInt("shard_count", static_cast<long long>(merged.shard_count));
+  rep.AddInt("benchmarks", static_cast<long long>(merged.sweep.benchmarks.size()));
+
+  uint64_t transitions = 0;
+  uint64_t residual_x = 0;
+  for (const testgen::SweepUnitResult& u : merged.units) {
+    transitions += u.transitions;
+    residual_x += u.residual_x;
+  }
+  rep.AddInt("total_transitions", static_cast<long long>(transitions));
+  rep.AddInt("total_residual_x", static_cast<long long>(residual_x));
+
+  report::Table& shards = rep.AddTable(
+      "shards", {{"shard", Tol::Info()}, {"units", Tol::Info()}});
+  for (const auto& [index, count] : merged.shard_units) {
+    shards.NewRow().Int(index).Int(static_cast<long long>(count));
+  }
+  return rep;
+}
+
 }  // namespace cmldft::campaign

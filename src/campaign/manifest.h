@@ -8,6 +8,7 @@
 #pragma once
 
 #include "campaign/merge.h"
+#include "campaign/pattern_campaign.h"
 #include "report/report.h"
 
 namespace cmldft::campaign {
@@ -15,5 +16,9 @@ namespace cmldft::campaign {
 /// Build the manifest report for a merged campaign. Deterministic: the
 /// same merged campaign yields byte-identical JSON.
 report::Report BuildCampaignManifest(const MergeResult& merged);
+
+/// Pattern-campaign counterpart: decomposition and headline tallies of a
+/// merged pattern-coverage sweep. Equally deterministic.
+report::Report BuildPatternCampaignManifest(const PatternMergeResult& merged);
 
 }  // namespace cmldft::campaign

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "digital/generators.h"
 #include "util/strings.h"
 
 namespace cmldft::digital {
@@ -147,33 +148,7 @@ GateNetlist MakeScrambler(int stages) {
   return nl;
 }
 
-GateNetlist MakeCounter4() {
-  GateNetlist nl;
-  const SignalId en = nl.AddInput("en");
-  // Synchronous clear — the dominance path that initializes the counter
-  // from the all-X power-up state (ref [13]).
-  const SignalId rst_n = nl.AddInput("rst_n");
-  SignalId carry = en;
-  std::vector<SignalId> q(4);
-  for (int i = 0; i < 4; ++i) {
-    // q[i] <= (q[i] XOR carry) AND rst_n; carry' = q[i] AND carry.
-    q[static_cast<size_t>(i)] =
-        nl.AddGate(GateType::kDff, util::StrPrintf("q%d", i), {/*patched*/ en});
-  }
-  for (int i = 0; i < 4; ++i) {
-    const SignalId t = nl.AddGate(GateType::kXor2, util::StrPrintf("t%d", i),
-                                  {q[static_cast<size_t>(i)], carry});
-    const SignalId tg = nl.AddGate(GateType::kAnd2, util::StrPrintf("tg%d", i),
-                                   {t, rst_n});
-    const SignalId c = nl.AddGate(GateType::kAnd2, util::StrPrintf("c%d", i),
-                                  {q[static_cast<size_t>(i)], carry});
-    nl.PatchDffInput(q[static_cast<size_t>(i)], tg);
-    carry = c;
-    nl.MarkOutput(q[static_cast<size_t>(i)]);
-  }
-  nl.MarkOutput(carry);
-  return nl;
-}
+GateNetlist MakeCounter4() { return MakeCounterN(4); }
 
 GateNetlist MakeParityMux(int width) {
   assert(width >= 2);

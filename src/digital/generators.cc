@@ -1,0 +1,181 @@
+#include "digital/generators.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cmldft::digital {
+
+GateNetlist MakeCounterN(int bits) {
+  assert(bits >= 1);
+  GateNetlist nl;
+  const SignalId en = nl.AddInput("en");
+  // Synchronous clear — the dominance path that initializes the counter
+  // from the all-X power-up state (ref [13]).
+  const SignalId rst_n = nl.AddInput("rst_n");
+  SignalId carry = en;
+  std::vector<SignalId> q(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    // q[i] <= (q[i] XOR carry) AND rst_n; carry' = q[i] AND carry.
+    q[static_cast<size_t>(i)] =
+        nl.AddGate(GateType::kDff, util::StrPrintf("q%d", i), {/*patched*/ en});
+  }
+  for (int i = 0; i < bits; ++i) {
+    const SignalId t = nl.AddGate(GateType::kXor2, util::StrPrintf("t%d", i),
+                                  {q[static_cast<size_t>(i)], carry});
+    const SignalId tg = nl.AddGate(GateType::kAnd2, util::StrPrintf("tg%d", i),
+                                   {t, rst_n});
+    const SignalId c = nl.AddGate(GateType::kAnd2, util::StrPrintf("c%d", i),
+                                  {q[static_cast<size_t>(i)], carry});
+    nl.PatchDffInput(q[static_cast<size_t>(i)], tg);
+    carry = c;
+    nl.MarkOutput(q[static_cast<size_t>(i)]);
+  }
+  nl.MarkOutput(carry);
+  return nl;
+}
+
+GateNetlist MakeShiftRegister(int stages) {
+  assert(stages >= 2);
+  GateNetlist nl;
+  const SignalId din = nl.AddInput("din");
+  std::vector<SignalId> q(static_cast<size_t>(stages));
+  SignalId prev = din;
+  for (int i = 0; i < stages; ++i) {
+    q[static_cast<size_t>(i)] =
+        nl.AddGate(GateType::kDff, util::StrPrintf("q%d", i), {prev});
+    prev = q[static_cast<size_t>(i)];
+  }
+  // Parity tree over all stages — combinational observables beyond the
+  // serial output.
+  std::vector<SignalId> layer = q;
+  int level = 0;
+  while (layer.size() > 1) {
+    std::vector<SignalId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.AddGate(GateType::kXor2,
+                                util::StrPrintf("p%d_%zu", level, i / 2),
+                                {layer[i], layer[i + 1]}));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+    ++level;
+  }
+  nl.MarkOutput(q[static_cast<size_t>(stages - 1)]);
+  nl.MarkOutput(layer[0]);
+  return nl;
+}
+
+GateNetlist MakeJohnsonCounter(int stages) {
+  assert(stages >= 2);
+  GateNetlist nl;
+  const SignalId rst_n = nl.AddInput("rst_n");
+  std::vector<SignalId> q(static_cast<size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    q[static_cast<size_t>(i)] = nl.AddGate(
+        GateType::kDff, util::StrPrintf("q%d", i), {/*patched*/ rst_n});
+  }
+  // Twisted-ring feedback, gated by rst_n at the feedback stage only: a
+  // single reset cycle clears q0, and the ring flushes over `stages`
+  // cycles of held reset.
+  const SignalId fb =
+      nl.AddGate(GateType::kNot, "fb", {q[static_cast<size_t>(stages - 1)]});
+  const SignalId fb_gated = nl.AddGate(GateType::kAnd2, "fb_g", {fb, rst_n});
+  nl.PatchDffInput(q[0], fb_gated);
+  for (int i = 1; i < stages; ++i) {
+    nl.PatchDffInput(q[static_cast<size_t>(i)], q[static_cast<size_t>(i - 1)]);
+  }
+  // Phase-decode outputs: first, last, and first AND last (a 2-of-n
+  // one-cold decode representative).
+  const SignalId dec = nl.AddGate(GateType::kAnd2, "dec",
+                                  {q[0], q[static_cast<size_t>(stages - 1)]});
+  nl.MarkOutput(q[0]);
+  nl.MarkOutput(q[static_cast<size_t>(stages - 1)]);
+  nl.MarkOutput(dec);
+  return nl;
+}
+
+namespace {
+
+/// Mux tree selecting leaves[s] by state bits (LSB selects deepest level).
+/// Mux fanin order is {sel, a, b} -> sel ? a : b.
+SignalId BuildMuxTree(GateNetlist& nl, const std::vector<SignalId>& state,
+                      const std::vector<SignalId>& leaves, size_t lo,
+                      size_t hi, int bit, int out_bit, int* mux_count) {
+  if (hi - lo == 1) return leaves[lo];
+  const size_t mid = lo + (hi - lo) / 2;
+  const SignalId low_half =
+      BuildMuxTree(nl, state, leaves, lo, mid, bit - 1, out_bit, mux_count);
+  const SignalId high_half =
+      BuildMuxTree(nl, state, leaves, mid, hi, bit - 1, out_bit, mux_count);
+  return nl.AddGate(GateType::kMux2,
+                    util::StrPrintf("m%d_%d", out_bit, (*mux_count)++),
+                    {state[static_cast<size_t>(bit)], high_half, low_half});
+}
+
+}  // namespace
+
+GateNetlist MakeRandomFsm(int state_bits, uint32_t seed) {
+  assert(state_bits >= 1 && state_bits <= 10);
+  const int num_states = 1 << state_bits;
+  GateNetlist nl;
+  const SignalId in = nl.AddInput("in");
+  const SignalId rst_n = nl.AddInput("rst_n");
+  std::vector<SignalId> state(static_cast<size_t>(state_bits));
+  for (int j = 0; j < state_bits; ++j) {
+    state[static_cast<size_t>(j)] = nl.AddGate(
+        GateType::kDff, util::StrPrintf("s%d", j), {/*patched*/ rst_n});
+  }
+  // Leaf building blocks: the transition-table entries for a given state
+  // differ only in `in`, so every leaf is one of {0, 1, in, NOT in}.
+  const SignalId not_in = nl.AddGate(GateType::kNot, "nin", {in});
+  const SignalId zero = nl.AddGate(GateType::kAnd2, "zero", {in, not_in});
+  const SignalId one = nl.AddGate(GateType::kOr2, "one", {in, not_in});
+
+  // Seed-determined transition table T[s][in] over all encodings.
+  util::Rng rng(seed);
+  std::vector<int> t0(static_cast<size_t>(num_states));
+  std::vector<int> t1(static_cast<size_t>(num_states));
+  for (int s = 0; s < num_states; ++s) {
+    t0[static_cast<size_t>(s)] =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_states)));
+    t1[static_cast<size_t>(s)] =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_states)));
+  }
+
+  for (int j = 0; j < state_bits; ++j) {
+    std::vector<SignalId> leaves(static_cast<size_t>(num_states));
+    for (int s = 0; s < num_states; ++s) {
+      const bool b0 = (t0[static_cast<size_t>(s)] >> j) & 1;
+      const bool b1 = (t1[static_cast<size_t>(s)] >> j) & 1;
+      leaves[static_cast<size_t>(s)] =
+          b0 ? (b1 ? one : not_in) : (b1 ? in : zero);
+    }
+    int mux_count = 0;
+    const SignalId next = BuildMuxTree(nl, state, leaves, 0,
+                                       static_cast<size_t>(num_states),
+                                       state_bits - 1, j, &mux_count);
+    // Synchronous clear to state 0: the dominance path through which every
+    // power-up encoding converges in one reset cycle.
+    const SignalId gated = nl.AddGate(
+        GateType::kAnd2, util::StrPrintf("sg%d", j), {next, rst_n});
+    nl.PatchDffInput(state[static_cast<size_t>(j)], gated);
+  }
+
+  // Moore outputs over the state register: parity chain and AND-reduce.
+  SignalId parity = state[0];
+  SignalId all = state[0];
+  for (int j = 1; j < state_bits; ++j) {
+    parity = nl.AddGate(GateType::kXor2, util::StrPrintf("par%d", j),
+                        {parity, state[static_cast<size_t>(j)]});
+    all = nl.AddGate(GateType::kAnd2, util::StrPrintf("all%d", j),
+                     {all, state[static_cast<size_t>(j)]});
+  }
+  nl.MarkOutput(parity);
+  nl.MarkOutput(all);
+  return nl;
+}
+
+}  // namespace cmldft::digital

@@ -1,0 +1,43 @@
+// Parametric generators for sequential gate-level benchmarks. The §6.6
+// coverage-vs-pattern-count story needs circuits larger and more varied
+// than the fixed reference netlists: counter / shift-register / ring and
+// random-FSM families, every one buildable at arbitrary size and mapped
+// 1:1 onto the CML cell library by cml/synthesis (only the GateNetlist
+// gate set is used).
+//
+// Initialization behavior is deliberately diverse (ref [13]):
+//   - counters and FSMs carry a synchronous active-low clear (`rst_n`)
+//     and resolve from all-X in one reset cycle;
+//   - shift registers are input-driven and resolve only after `stages`
+//     cycles of known data;
+//   - Johnson (twisted-ring) counters gate only the feedback stage, so a
+//     reset must be *held* for `stages` cycles to flush the ring.
+#pragma once
+
+#include <cstdint>
+
+#include "digital/gate_netlist.h"
+
+namespace cmldft::digital {
+
+/// `bits`-bit synchronous counter with carry chain (en, rst_n inputs; the
+/// 4-bit instance is bit-identical to the legacy MakeCounter4()).
+GateNetlist MakeCounterN(int bits);
+
+/// Serial-in shift register: `stages` DFFs fed by `din`, with the last
+/// stage and a parity tree over all stages as outputs. No reset — state
+/// resolves after `stages` cycles of known input.
+GateNetlist MakeShiftRegister(int stages);
+
+/// Johnson (twisted-ring) counter: feedback stage is NOT(last) gated by
+/// rst_n; the rest of the ring is ungated, so initialization must hold
+/// rst_n low long enough to flush every stage.
+GateNetlist MakeJohnsonCounter(int stages);
+
+/// Random Moore FSM over 2^state_bits states: binary-encoded state
+/// register, mux-tree next-state logic from a seed-determined transition
+/// table, one data input (`in`) plus synchronous clear (`rst_n`), parity
+/// and AND-reduce outputs over the state bits.
+GateNetlist MakeRandomFsm(int state_bits, uint32_t seed = 0xF5A1u);
+
+}  // namespace cmldft::digital

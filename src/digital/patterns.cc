@@ -29,8 +29,14 @@ std::vector<std::vector<Logic>> GeneratePatterns(int width, int count,
   return out;
 }
 
-std::vector<std::vector<Logic>> ExhaustivePatterns(int width) {
-  assert(width <= 20);
+util::StatusOr<std::vector<std::vector<Logic>>> ExhaustivePatterns(int width) {
+  if (width < 0 || width > kMaxExhaustiveWidth) {
+    return util::Status::InvalidArgument(
+        "ExhaustivePatterns(" + std::to_string(width) +
+        "): width must be in [0, " + std::to_string(kMaxExhaustiveWidth) +
+        "] (2^width vectors are enumerated; use GeneratePatterns for wider "
+        "circuits)");
+  }
   std::vector<std::vector<Logic>> out;
   out.reserve(1u << width);
   for (uint32_t v = 0; v < (1u << width); ++v) {

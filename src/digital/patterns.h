@@ -6,13 +6,21 @@
 #include <vector>
 
 #include "digital/logic.h"
+#include "util/status.h"
 
 namespace cmldft::digital {
 
-/// Fibonacci LFSR over a primitive polynomial (default: x^32+x^22+x^2+x+1).
+/// Fibonacci LFSR over a primitive polynomial (default:
+/// x^32+x^22+x^2+x+1, period 2^32-1). With the shift-right update
+/// state' = (state>>1) | (parity(state & taps) << 31), the realized
+/// characteristic polynomial is x^32 + sum of x^j over the set bits j of
+/// `taps` — so this polynomial's mask is bits {22,2,1,0} = 0x00400007.
+/// (The familiar 0x80200003 encodes the same polynomial for a *Galois*
+/// LFSR; under this Fibonacci update it is not maximal-length.
+/// tests/lfsr_property_test.cc proves primitivity by matrix order.)
 class Lfsr {
  public:
-  explicit Lfsr(uint32_t seed = 0xACE1u, uint32_t taps = 0x80200003u);
+  explicit Lfsr(uint32_t seed = 0xACE1u, uint32_t taps = 0x00400007u);
 
   /// Next pseudorandom bit.
   bool NextBit();
@@ -30,7 +38,12 @@ class Lfsr {
 std::vector<std::vector<Logic>> GeneratePatterns(int width, int count,
                                                  uint32_t seed = 0xACE1u);
 
-/// Exhaustive patterns for small widths (width <= 20).
-std::vector<std::vector<Logic>> ExhaustivePatterns(int width);
+/// Widest input count ExhaustivePatterns will enumerate (2^20 vectors).
+inline constexpr int kMaxExhaustiveWidth = 20;
+
+/// Exhaustive patterns for small widths. Widths outside
+/// [0, kMaxExhaustiveWidth] are refused with InvalidArgument — 2^width
+/// vectors of width Logic values would otherwise allocate without bound.
+util::StatusOr<std::vector<std::vector<Logic>>> ExhaustivePatterns(int width);
 
 }  // namespace cmldft::digital

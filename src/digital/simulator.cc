@@ -24,6 +24,15 @@ void LogicSimulator::Reset(Logic init) {
   dff_next_.assign(values_.size(), init);
   seen0_.assign(values_.size(), 0);
   seen1_.assign(values_.size(), 0);
+  transitions_.assign(values_.size(), 0);
+  last_known_.assign(values_.size(), Logic::kX);
+}
+
+void LogicSimulator::ClearToggleHistory() {
+  seen0_.assign(values_.size(), 0);
+  seen1_.assign(values_.size(), 0);
+  transitions_.assign(values_.size(), 0);
+  last_known_ = values_;
 }
 
 void LogicSimulator::SetDffStates(const std::vector<Logic>& states) {
@@ -90,8 +99,13 @@ std::vector<Logic> LogicSimulator::OutputValues() const {
 
 void LogicSimulator::RecordToggles() {
   for (size_t i = 0; i < values_.size(); ++i) {
-    if (values_[i] == Logic::k0) seen0_[i] = 1;
-    if (values_[i] == Logic::k1) seen1_[i] = 1;
+    const Logic v = values_[i];
+    if (v == Logic::k0) seen0_[i] = 1;
+    if (v == Logic::k1) seen1_[i] = 1;
+    if (IsKnown(v)) {
+      if (IsKnown(last_known_[i]) && last_known_[i] != v) ++transitions_[i];
+      last_known_[i] = v;
+    }
   }
 }
 

@@ -47,6 +47,14 @@ class LogicSimulator {
   bool Toggled(SignalId signal) const;
   /// Fraction of non-input signals that have toggled.
   double ToggleCoverage() const;
+  /// Known-to-known value flips observed at this signal (per-node toggle
+  /// activity; an X interval neither counts nor breaks the chain).
+  uint64_t TransitionCount(SignalId signal) const {
+    return transitions_.at(static_cast<size_t>(signal));
+  }
+  /// Zero the toggle/transition history while keeping the circuit state —
+  /// scopes coverage accounting to the cycles after an init sequence.
+  void ClearToggleHistory();
   int num_signals() const { return netlist_->num_signals(); }
 
   const GateNetlist& netlist() const { return *netlist_; }
@@ -59,6 +67,8 @@ class LogicSimulator {
   std::vector<Logic> values_;
   std::vector<Logic> dff_next_;
   std::vector<uint8_t> seen0_, seen1_;
+  std::vector<uint64_t> transitions_;
+  std::vector<Logic> last_known_;
   std::optional<StuckAtFault> fault_;
 };
 

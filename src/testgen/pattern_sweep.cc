@@ -1,0 +1,182 @@
+#include "testgen/pattern_sweep.h"
+
+#include <cstdlib>
+
+#include "digital/generators.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace cmldft::testgen {
+
+using digital::GateNetlist;
+
+namespace {
+
+/// Parses "<family><N>" and returns N, or -1 on mismatch.
+int SizeOf(std::string_view name, std::string_view family) {
+  if (name.size() <= family.size() || name.substr(0, family.size()) != family) {
+    return -1;
+  }
+  int n = 0;
+  for (char c : name.substr(family.size())) {
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+    if (n > 1 << 20) return -1;
+  }
+  return n;
+}
+
+}  // namespace
+
+util::StatusOr<GateNetlist> MakeSweepBenchmark(std::string_view name) {
+  if (int n = SizeOf(name, "counter"); n >= 1 && n <= 64) {
+    return digital::MakeCounterN(n);
+  }
+  if (int n = SizeOf(name, "shift"); n >= 2 && n <= 1024) {
+    return digital::MakeShiftRegister(n);
+  }
+  if (int n = SizeOf(name, "johnson"); n >= 2 && n <= 1024) {
+    return digital::MakeJohnsonCounter(n);
+  }
+  if (int n = SizeOf(name, "fsm"); n >= 2 && n <= 1024) {
+    // N = number of states, required to be a power of two (binary-encoded
+    // state register with no unreachable encodings).
+    if ((n & (n - 1)) != 0) {
+      return util::Status::InvalidArgument(
+          "fsm benchmark size must be a power-of-two state count, got '" +
+          std::string(name) + "'");
+    }
+    int bits = 0;
+    while ((1 << bits) < n) ++bits;
+    return digital::MakeRandomFsm(bits);
+  }
+  if (int n = SizeOf(name, "scrambler"); n >= 3 && n <= 1024) {
+    return digital::MakeScrambler(n);
+  }
+  return util::Status::InvalidArgument(
+      "unknown sweep benchmark '" + std::string(name) +
+      "' (families: counterN, shiftN, johnsonN, fsmN, scramblerN)");
+}
+
+util::StatusOr<SweepUnitResult> EvaluateSweepUnit(
+    const PatternSweepConfig& config, uint64_t unit_id) {
+  const uint64_t ladder = config.pattern_counts.size();
+  if (ladder == 0 || unit_id >= config.unit_count()) {
+    return util::Status::InvalidArgument(
+        "sweep unit " + std::to_string(unit_id) + " outside the universe of " +
+        std::to_string(config.unit_count()));
+  }
+  const size_t bench_idx = static_cast<size_t>(unit_id / ladder);
+  const size_t ladder_idx = static_cast<size_t>(unit_id % ladder);
+
+  auto netlist = MakeSweepBenchmark(config.benchmarks[bench_idx]);
+  if (!netlist.ok()) return netlist.status();
+
+  SequentialRunOptions opt;
+  opt.patterns = config.pattern_counts[ladder_idx];
+  opt.seed = config.seed;
+  opt.init.max_cycles = config.init_max_cycles;
+  opt.init.seed = config.seed;
+  const SequentialRunResult run = RunSequentialPatternTest(*netlist, opt);
+
+  SweepUnitResult out;
+  out.benchmark = static_cast<uint32_t>(bench_idx);
+  out.patterns = static_cast<uint32_t>(opt.patterns);
+  out.toggled = static_cast<uint32_t>(run.toggled);
+  out.togglable = static_cast<uint32_t>(run.togglable);
+  out.transitions = run.transitions;
+  out.init_cycles = static_cast<uint32_t>(run.init.cycles());
+  out.residual_x = static_cast<uint32_t>(run.init.residual_x);
+  out.dffs = static_cast<uint32_t>(run.init.dffs);
+  return out;
+}
+
+uint64_t SweepFingerprint(const PatternSweepConfig& config) {
+  util::ContentHasher h;
+  h.Str("cmldft-pattern-sweep-v1");
+  h.U64(config.benchmarks.size());
+  for (const std::string& name : config.benchmarks) {
+    h.Str(name);
+    auto nl = MakeSweepBenchmark(name);
+    if (!nl.ok()) {
+      // An unresolvable name still fingerprints deterministically; the
+      // runner surfaces the real error before any store is written.
+      h.Str("unresolved");
+      continue;
+    }
+    h.I64(nl->num_signals());
+    for (digital::SignalId s = 0; s < nl->num_signals(); ++s) {
+      const digital::Gate& g = nl->gate(s);
+      h.I64(static_cast<int64_t>(g.type));
+      h.Str(g.name);
+      for (digital::SignalId f : g.fanin) h.I64(f);
+    }
+    h.U64(nl->outputs().size());
+    for (digital::SignalId o : nl->outputs()) h.I64(o);
+  }
+  h.U64(config.pattern_counts.size());
+  for (int c : config.pattern_counts) h.I64(c);
+  h.U64(config.seed);
+  h.I64(config.init_max_cycles);
+  return h.Digest();
+}
+
+void FillPatternCoverageReport(const PatternSweepConfig& config,
+                               const std::vector<SweepUnitResult>& units,
+                               report::Report& rep) {
+  using report::Tol;
+  // Deterministic digital simulation throughout: everything is exact.
+  report::Table& table = rep.AddTable(
+      "pattern_coverage", {{"benchmark", Tol::Exact()},
+                           {"patterns", Tol::Exact()},
+                           {"toggled", Tol::Exact()},
+                           {"togglable", Tol::Exact()},
+                           {"coverage", "%", Tol::Exact()},
+                           {"transitions", Tol::Exact()},
+                           {"init cycles", Tol::Exact()},
+                           {"residual X", Tol::Exact()}});
+  for (const SweepUnitResult& u : units) {
+    const double cov =
+        u.togglable == 0 ? 1.0
+                         : static_cast<double>(u.toggled) / u.togglable;
+    table.NewRow()
+        .Str(config.benchmarks[u.benchmark])
+        .Int(u.patterns)
+        .Int(u.toggled)
+        .Int(u.togglable)
+        .Num("%.2f", cov * 100)
+        .Int(static_cast<long long>(u.transitions))
+        .Int(u.init_cycles)
+        .Int(u.residual_x);
+  }
+
+  const size_t ladder = config.pattern_counts.size();
+  for (size_t b = 0; b < config.benchmarks.size(); ++b) {
+    const std::string& name = config.benchmarks[b];
+    const SweepUnitResult& first = units[b * ladder];
+    rep.AddInt(name + "_dffs", first.dffs);
+    rep.AddInt(name + "_signals", first.togglable);
+    rep.AddInt(name + "_init_cycles", first.init_cycles);
+    // The acceptance headline: deterministic initialization leaves no
+    // flip-flop unresolved on any shipped benchmark.
+    rep.AddInt(name + "_residual_x", first.residual_x);
+    long long to95 = -1;
+    for (size_t l = 0; l < ladder; ++l) {
+      const SweepUnitResult& u = units[b * ladder + l];
+      if (static_cast<uint64_t>(u.toggled) * 100 >=
+          static_cast<uint64_t>(u.togglable) * 95) {
+        to95 = u.patterns;
+        break;
+      }
+    }
+    rep.AddInt(name + "_patterns_to_95pct", to95);
+  }
+  rep.AddInt("benchmarks", static_cast<long long>(config.benchmarks.size()));
+  rep.AddInt("units", static_cast<long long>(units.size()));
+  rep.AddText("sweep_fingerprint",
+              util::StrPrintf("%016llx",
+                              static_cast<unsigned long long>(
+                                  SweepFingerprint(config))));
+}
+
+}  // namespace cmldft::testgen

@@ -1,0 +1,175 @@
+#include "testgen/sequential_engine.h"
+
+#include <utility>
+
+#include "digital/patterns.h"
+#include "digital/simulator.h"
+#include "util/telemetry.h"
+
+namespace cmldft::testgen {
+
+using digital::GateNetlist;
+using digital::GateType;
+using digital::Logic;
+using digital::LogicSimulator;
+using digital::SignalId;
+
+namespace {
+
+struct EngineMetrics {
+  util::telemetry::Counter init_runs =
+      util::telemetry::GetCounter("testgen.init.runs");
+  util::telemetry::Counter init_cycles =
+      util::telemetry::GetCounter("testgen.init.cycles");
+  util::telemetry::Counter init_resolved =
+      util::telemetry::GetCounter("testgen.init.dffs_resolved");
+  util::telemetry::Counter init_residual_x =
+      util::telemetry::GetCounter("testgen.init.dffs_residual_x");
+  util::telemetry::Counter toggle_runs =
+      util::telemetry::GetCounter("testgen.toggle.runs");
+  util::telemetry::Counter patterns_applied =
+      util::telemetry::GetCounter("testgen.toggle.patterns_applied");
+  util::telemetry::Counter transitions =
+      util::telemetry::GetCounter("testgen.toggle.transitions");
+  util::telemetry::Counter signals_toggled =
+      util::telemetry::GetCounter("testgen.toggle.signals_toggled");
+  util::telemetry::Counter signals_untoggled =
+      util::telemetry::GetCounter("testgen.toggle.signals_untoggled");
+  util::telemetry::Histogram node_transitions = util::telemetry::GetHistogram(
+      "testgen.toggle.node_transitions",
+      {0, 1, 4, 16, 64, 256, 1024, 4096});
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m;
+  return m;
+}
+// Registered at load time for a code-path-independent snapshot schema.
+[[maybe_unused]] const EngineMetrics& kEagerRegistration = Metrics();
+
+int CountXDffs(const LogicSimulator& sim) {
+  int x = 0;
+  for (Logic v : sim.DffStates()) {
+    if (!digital::IsKnown(v)) ++x;
+  }
+  return x;
+}
+
+void ApplyCycle(LogicSimulator& sim, const std::vector<Logic>& pattern) {
+  const auto& inputs = sim.netlist().inputs();
+  for (size_t i = 0; i < inputs.size(); ++i) sim.SetInput(inputs[i], pattern[i]);
+  sim.Evaluate();
+  if (!sim.netlist().dffs().empty()) sim.ClockEdge();
+}
+
+}  // namespace
+
+InitSequence ComputeInitSequence(const GateNetlist& netlist,
+                                 const InitSequenceOptions& options) {
+  const EngineMetrics& m = Metrics();
+  m.init_runs.Increment();
+
+  InitSequence out;
+  out.dffs = static_cast<int>(netlist.dffs().size());
+  const int width = static_cast<int>(netlist.inputs().size());
+  const int max_cycles =
+      options.max_cycles > 0 ? options.max_cycles : 2 * out.dffs + 8;
+
+  LogicSimulator sim(netlist);
+  int unresolved = CountXDffs(sim);
+  digital::Lfsr lfsr(options.seed);
+  while (unresolved > 0 && out.cycles() < max_cycles) {
+    // Candidate vectors for this cycle: all-0, all-1, then LFSR draws.
+    // The LFSR advances once per cycle regardless of which candidate wins,
+    // so the sequence is a pure function of (netlist, options).
+    std::vector<std::vector<Logic>> candidates;
+    candidates.emplace_back(static_cast<size_t>(width), Logic::k0);
+    candidates.emplace_back(static_cast<size_t>(width), Logic::k1);
+    for (int c = 0; c < options.random_candidates; ++c) {
+      candidates.push_back(lfsr.NextPattern(width));
+    }
+
+    int best = -1;
+    int best_unresolved = unresolved + 1;
+    LogicSimulator best_sim(netlist);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      LogicSimulator trial = sim;
+      ApplyCycle(trial, candidates[c]);
+      const int x = CountXDffs(trial);
+      if (x < best_unresolved) {
+        best = static_cast<int>(c);
+        best_unresolved = x;
+        best_sim = std::move(trial);
+      }
+    }
+    // Even a non-improving cycle can be progress (a shift register flushes
+    // one stage per cycle only once known data reaches it), so always take
+    // the best candidate and let max_cycles bound the search.
+    sim = std::move(best_sim);
+    out.sequence.push_back(std::move(candidates[static_cast<size_t>(best)]));
+    unresolved = best_unresolved;
+  }
+
+  out.residual_x = unresolved;
+  out.resolved = out.dffs - unresolved;
+  const auto states = sim.DffStates();
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (!digital::IsKnown(states[i])) {
+      out.residual_x_names.push_back(netlist.gate(netlist.dffs()[i]).name);
+    }
+  }
+
+  m.init_cycles.Add(static_cast<uint64_t>(out.cycles()));
+  m.init_resolved.Add(static_cast<uint64_t>(out.resolved));
+  m.init_residual_x.Add(static_cast<uint64_t>(out.residual_x));
+  return out;
+}
+
+int CountResidualX(const GateNetlist& netlist,
+                   const std::vector<std::vector<Logic>>& sequence) {
+  LogicSimulator sim(netlist);
+  for (const auto& pattern : sequence) ApplyCycle(sim, pattern);
+  return CountXDffs(sim);
+}
+
+SequentialRunResult RunSequentialPatternTest(
+    const GateNetlist& netlist, const SequentialRunOptions& options) {
+  const EngineMetrics& m = Metrics();
+  m.toggle_runs.Increment();
+
+  SequentialRunResult out;
+  out.init = ComputeInitSequence(netlist, options.init);
+
+  LogicSimulator sim(netlist);
+  for (const auto& pattern : out.init.sequence) ApplyCycle(sim, pattern);
+  // Coverage accounting is scoped to the pseudorandom stream: the test
+  // proper starts from the deterministic post-init state.
+  sim.ClearToggleHistory();
+
+  const int width = static_cast<int>(netlist.inputs().size());
+  digital::Lfsr lfsr(options.seed);
+  for (int p = 0; p < options.patterns; ++p) {
+    ApplyCycle(sim, lfsr.NextPattern(width));
+  }
+  out.patterns_applied = options.patterns;
+
+  for (SignalId s = 0; s < netlist.num_signals(); ++s) {
+    if (netlist.gate(s).type == GateType::kInput) continue;
+    ++out.togglable;
+    if (sim.Toggled(s)) {
+      ++out.toggled;
+    } else {
+      out.untoggled.push_back(s);
+    }
+    out.transitions += sim.TransitionCount(s);
+    m.node_transitions.Record(static_cast<double>(sim.TransitionCount(s)));
+  }
+
+  m.patterns_applied.Add(static_cast<uint64_t>(out.patterns_applied));
+  m.transitions.Add(out.transitions);
+  m.signals_toggled.Add(static_cast<uint64_t>(out.toggled));
+  m.signals_untoggled.Add(static_cast<uint64_t>(out.untoggled.size()));
+  return out;
+}
+
+}  // namespace cmldft::testgen

@@ -1,0 +1,101 @@
+// Sequential random-pattern test engine (paper §6.6, ref [13]).
+//
+// Two pieces the combinational planner in amplitude_test.h never had:
+//
+//   1. Flip-flop-aware deterministic initialization. Instead of *hoping*
+//      the circuit converges from a random power-up state (what
+//      AnalyzeInitialization quantifies), ComputeInitSequence searches for
+//      a short input sequence that drives every DFF from X to a known
+//      value under 3-valued simulation — and reports, by name, any state
+//      element the search could not resolve. The sequence is replayable:
+//      starting from all-X, applying it leaves the machine in a fully
+//      deterministic state regardless of silicon power-up.
+//
+//   2. Per-node toggle-coverage accounting over pseudorandom LFSR
+//      streams. RunSequentialPatternTest applies the init sequence, zeroes
+//      the toggle history, streams `patterns` LFSR cycles, and reports
+//      which signals toggled, which did not, and how much activity each
+//      saw — folded into the process-wide telemetry registry as
+//      `testgen.init.*` / `testgen.toggle.*` so coverage is observable
+//      like every other metric (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "digital/gate_netlist.h"
+#include "digital/logic.h"
+
+namespace cmldft::testgen {
+
+struct InitSequenceOptions {
+  /// Longest sequence the search may emit; 0 = auto (2 * #DFFs + 8 —
+  /// enough for ungated shift structures that resolve one stage per
+  /// cycle, with headroom).
+  int max_cycles = 0;
+  /// LFSR seed for the randomized candidate vectors.
+  uint32_t seed = 0xACE1u;
+  /// Candidate input vectors tried per cycle beyond all-0 / all-1.
+  int random_candidates = 6;
+};
+
+/// A deterministic initialization sequence and what it achieves.
+struct InitSequence {
+  /// Input vectors to apply, one per clock cycle, starting from power-up.
+  std::vector<std::vector<digital::Logic>> sequence;
+  int dffs = 0;
+  /// DFFs driven to a known value by the sequence.
+  int resolved = 0;
+  /// DFFs still X after the sequence (residual_x == dffs - resolved).
+  int residual_x = 0;
+  /// Names of the unresolved state elements (empty when fully resolved).
+  std::vector<std::string> residual_x_names;
+  bool fully_initialized() const { return residual_x == 0; }
+  int cycles() const { return static_cast<int>(sequence.size()); }
+};
+
+/// Greedy deterministic search: each cycle, try all-0, all-1, and
+/// `random_candidates` LFSR vectors; keep the one resolving the most DFFs
+/// (ties break toward the earliest candidate, so the result is a pure
+/// function of netlist + options). Stops as soon as every DFF is known.
+InitSequence ComputeInitSequence(const digital::GateNetlist& netlist,
+                                 const InitSequenceOptions& options = {});
+
+/// Replay `sequence` from all-X and count the DFFs still unresolved —
+/// independent verification that a claimed init sequence works.
+int CountResidualX(const digital::GateNetlist& netlist,
+                   const std::vector<std::vector<digital::Logic>>& sequence);
+
+struct SequentialRunOptions {
+  /// LFSR cycles applied after the init sequence.
+  int patterns = 1024;
+  uint32_t seed = 0xACE1u;
+  InitSequenceOptions init;
+};
+
+/// Per-node toggle accounting for one init + LFSR-stream run.
+struct SequentialRunResult {
+  InitSequence init;
+  int patterns_applied = 0;
+  /// Non-input signals seen at both 0 and 1 during the stream.
+  int toggled = 0;
+  /// Non-input signals total (the coverage denominator).
+  int togglable = 0;
+  /// Sum of per-node known-value flips across all signals in the stream.
+  uint64_t transitions = 0;
+  /// Signals never observed at both values.
+  std::vector<digital::SignalId> untoggled;
+  double coverage() const {
+    return togglable == 0 ? 1.0 : static_cast<double>(toggled) / togglable;
+  }
+};
+
+/// Initialize deterministically, clear toggle history, stream `patterns`
+/// pseudorandom cycles, account per-node toggles. Pure function of
+/// (netlist, options); telemetry records every run.
+SequentialRunResult RunSequentialPatternTest(
+    const digital::GateNetlist& netlist,
+    const SequentialRunOptions& options = {});
+
+}  // namespace cmldft::testgen

@@ -15,6 +15,7 @@
 #include "cml/variation.h"
 #include "core/screening.h"
 #include "digital/faultsim.h"
+#include "digital/generators.h"
 #include "digital/patterns.h"
 #include "util/rng.h"
 #include "util/telemetry.h"
@@ -142,6 +143,27 @@ TEST(FaultSimDeterminism, ParityMuxMatchesSerial) {
 
 TEST(FaultSimDeterminism, C17MatchesSerial) {
   ExpectFaultSimEquivalence(digital::MakeC17(), 40);
+}
+
+// The generator-built sequential benchmarks (digital/generators.h) are
+// what the pattern-coverage campaign simulates; the 64-way bit-parallel
+// engine must agree with the serial reference on every one of them, fault
+// by fault, at every detection index.
+
+TEST(FaultSimDeterminism, CounterNMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeCounterN(6), 96);
+}
+
+TEST(FaultSimDeterminism, ShiftRegisterMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeShiftRegister(12), 80);
+}
+
+TEST(FaultSimDeterminism, JohnsonCounterMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeJohnsonCounter(6), 96);
+}
+
+TEST(FaultSimDeterminism, RandomFsmMatchesSerial) {
+  ExpectFaultSimEquivalence(digital::MakeRandomFsm(4), 128);
 }
 
 TEST(FaultSimDeterminism, MultiBatchBoundary) {

@@ -6,6 +6,7 @@
 #include "digital/bench_parser.h"
 #include "digital/faultsim.h"
 #include "digital/gate_netlist.h"
+#include "digital/generators.h"
 #include "digital/logic.h"
 #include "digital/patterns.h"
 #include "digital/simulator.h"
@@ -150,7 +151,8 @@ TEST(Simulator, FaultOverlayForcesValue) {
 TEST(FaultSim, ExhaustiveCombinationalIsComplete) {
   GateNetlist nl = MakeParityMux(4);
   const auto faults = EnumerateStuckAtFaults(nl);
-  const auto patterns = ExhaustivePatterns(static_cast<int>(nl.inputs().size()));
+  const auto patterns =
+      *ExhaustivePatterns(static_cast<int>(nl.inputs().size()));
   const auto result = RunStuckAtFaultSim(nl, faults, patterns);
   // Parity/AND cone of 4 inputs: everything observable is detected.
   EXPECT_GT(result.Coverage(), 0.95);
@@ -199,10 +201,141 @@ TEST(Lfsr, BalancedBits) {
 }
 
 TEST(Patterns, ExhaustiveCountAndUniqueness) {
-  const auto pats = ExhaustivePatterns(5);
+  const auto pats = *ExhaustivePatterns(5);
   EXPECT_EQ(pats.size(), 32u);
   std::set<std::vector<Logic>> unique(pats.begin(), pats.end());
   EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(Patterns, ExhaustiveRefusesUnreasonableWidths) {
+  // 2^width vectors of width Logic values each: width 21 would be ~42M
+  // allocations mid-flight. The guard turns that into a diagnosable error.
+  for (int width : {kMaxExhaustiveWidth + 1, 32, -1}) {
+    const auto wide = ExhaustivePatterns(width);
+    ASSERT_FALSE(wide.ok()) << "width " << width;
+    EXPECT_NE(wide.status().message().find("[0, 20]"), std::string::npos)
+        << wide.status().ToString();
+  }
+  // The boundary itself works, as do degenerate small widths.
+  EXPECT_EQ(ExhaustivePatterns(0)->size(), 1u);
+  EXPECT_EQ(ExhaustivePatterns(1)->size(), 2u);
+  EXPECT_EQ(ExhaustivePatterns(kMaxExhaustiveWidth)->size(), 1u << 20);
+}
+
+// --- parametric generators --------------------------------------------------
+
+TEST(Generators, CounterNCountsModuloTwoToN) {
+  GateNetlist nl = MakeCounterN(6);
+  LogicSimulator sim(nl);
+  sim.SetInput(nl.Find("en"), Logic::k1);
+  sim.SetInput(nl.Find("rst_n"), Logic::k0);
+  sim.Evaluate();
+  sim.ClockEdge();
+  sim.SetInput(nl.Find("rst_n"), Logic::k1);
+  for (int cycle = 0; cycle < 70; ++cycle) {  // wraps past 2^6
+    sim.Evaluate();
+    sim.ClockEdge();
+    int value = 0;
+    for (int b = 0; b < 6; ++b) {
+      const Logic q = sim.Value(nl.Find("q" + std::to_string(b)));
+      ASSERT_TRUE(IsKnown(q)) << "cycle " << cycle << " bit " << b;
+      value |= (q == Logic::k1 ? 1 : 0) << b;
+    }
+    ASSERT_EQ(value, (cycle + 1) % 64) << "cycle " << cycle;
+  }
+}
+
+TEST(Generators, CounterNFourBitsMatchesLegacyCounter4) {
+  // The legacy fixed netlist is now a delegation; pin the equivalence.
+  const GateNetlist legacy = MakeCounter4();
+  const GateNetlist generated = MakeCounterN(4);
+  ASSERT_EQ(generated.num_signals(), legacy.num_signals());
+  for (SignalId s = 0; s < legacy.num_signals(); ++s) {
+    EXPECT_EQ(generated.gate(s).name, legacy.gate(s).name) << s;
+    EXPECT_EQ(generated.gate(s).type, legacy.gate(s).type) << s;
+    EXPECT_EQ(generated.gate(s).fanin, legacy.gate(s).fanin)
+        << legacy.gate(s).name;
+  }
+}
+
+TEST(Generators, ShiftRegisterDelaysInputByStages) {
+  constexpr int kStages = 5;
+  GateNetlist nl = MakeShiftRegister(kStages);
+  LogicSimulator sim(nl);
+  const SignalId din = nl.Find("din");
+  const SignalId tail = nl.Find("q" + std::to_string(kStages - 1));
+  ASSERT_GE(din, 0);
+  ASSERT_GE(tail, 0);
+  const std::vector<int> stream = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0};
+  for (size_t t = 0; t < stream.size(); ++t) {
+    sim.SetInput(din, stream[t] != 0 ? Logic::k1 : Logic::k0);
+    sim.Evaluate();
+    sim.ClockEdge();
+    sim.Evaluate();
+    if (t + 1 >= kStages) {
+      const Logic expect =
+          stream[t + 1 - kStages] != 0 ? Logic::k1 : Logic::k0;
+      ASSERT_EQ(sim.Value(tail), expect) << "t=" << t;
+    }
+  }
+}
+
+TEST(Generators, JohnsonCounterWalksTwistedRingSequence) {
+  constexpr int kStages = 4;
+  GateNetlist nl = MakeJohnsonCounter(kStages);
+  LogicSimulator sim(nl);
+  const SignalId rst_n = nl.Find("rst_n");
+  // Flush the ring: reset must be held for `stages` cycles.
+  sim.SetInput(rst_n, Logic::k0);
+  for (int i = 0; i < kStages; ++i) {
+    sim.Evaluate();
+    sim.ClockEdge();
+  }
+  sim.SetInput(rst_n, Logic::k1);
+  // A 4-stage Johnson counter visits 2*4 = 8 states: 0000, 1000, 1100, ...
+  int last = 0;
+  std::set<int> seen;
+  for (int cycle = 0; cycle < 2 * kStages; ++cycle) {
+    int state = 0;
+    for (int b = 0; b < kStages; ++b) {
+      const Logic q = sim.Value(nl.Find("q" + std::to_string(b)));
+      ASSERT_TRUE(IsKnown(q)) << "cycle " << cycle << " stage " << b;
+      state |= (q == Logic::k1 ? 1 : 0) << b;
+    }
+    if (cycle > 0) {
+      // Gray-code property: exactly one stage changes per step.
+      const int diff = state ^ last;
+      EXPECT_EQ(diff & (diff - 1), 0) << "cycle " << cycle;
+      EXPECT_NE(diff, 0) << "cycle " << cycle;
+    }
+    seen.insert(state);
+    last = state;
+    sim.Evaluate();
+    sim.ClockEdge();
+    sim.Evaluate();
+  }
+  EXPECT_EQ(seen.size(), 2u * kStages);
+}
+
+TEST(Generators, RandomFsmIsSeedDeterministicAndResets) {
+  const GateNetlist a = MakeRandomFsm(3, 0x1234u);
+  const GateNetlist b = MakeRandomFsm(3, 0x1234u);
+  ASSERT_EQ(a.num_signals(), b.num_signals());
+  for (SignalId s = 0; s < a.num_signals(); ++s) {
+    EXPECT_EQ(a.gate(s).fanin, b.gate(s).fanin) << a.gate(s).name;
+  }
+  // One reset cycle resolves the whole state register from all-X.
+  GateNetlist nl = MakeRandomFsm(3, 0x1234u);
+  LogicSimulator sim(nl);
+  sim.SetInput(nl.Find("in"), Logic::k0);
+  sim.SetInput(nl.Find("rst_n"), Logic::k0);
+  sim.Evaluate();
+  sim.ClockEdge();
+  sim.Evaluate();
+  for (int b2 = 0; b2 < 3; ++b2) {
+    EXPECT_EQ(sim.Value(nl.Find("s" + std::to_string(b2))), Logic::k0)
+        << "state bit " << b2;
+  }
 }
 
 // --- initialization convergence ---------------------------------------------
@@ -229,7 +362,8 @@ TEST(BenchParser, C17MatchesBuiltinReference) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   GateNetlist reference = MakeC17();
   LogicSimulator sim_p(*parsed), sim_r(reference);
-  for (const auto& pattern : ExhaustivePatterns(5)) {
+  const auto patterns = *ExhaustivePatterns(5);
+  for (const auto& pattern : patterns) {
     for (size_t i = 0; i < 5; ++i) {
       sim_p.SetInput(parsed->inputs()[i], pattern[i]);
       sim_r.SetInput(reference.inputs()[i], pattern[i]);
@@ -285,7 +419,8 @@ TEST(BenchParser, C17RoundTripThroughWriter) {
   ASSERT_EQ(back->inputs().size(), reference.inputs().size());
   ASSERT_EQ(back->outputs().size(), reference.outputs().size());
   LogicSimulator sim_b(*back), sim_r(reference);
-  for (const auto& pattern : ExhaustivePatterns(5)) {
+  const auto patterns = *ExhaustivePatterns(5);
+  for (const auto& pattern : patterns) {
     for (size_t i = 0; i < 5; ++i) {
       sim_b.SetInput(back->inputs()[i], pattern[i]);
       sim_r.SetInput(reference.inputs()[i], pattern[i]);
@@ -354,7 +489,7 @@ TEST(C17, MatchesNandTruth) {
 TEST(C17, ExhaustiveStuckAtCoverage) {
   GateNetlist nl = MakeC17();
   const auto result = RunStuckAtFaultSim(nl, EnumerateStuckAtFaults(nl),
-                                         ExhaustivePatterns(5));
+                                         *ExhaustivePatterns(5));
   // c17 is fully testable under exhaustive patterns.
   EXPECT_DOUBLE_EQ(result.Coverage(), 1.0);
 }

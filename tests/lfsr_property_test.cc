@@ -1,0 +1,139 @@
+// Properties of the pseudorandom pattern source (digital/patterns.h).
+//
+// The headline claim — the default taps 0x00400007 realize the primitive
+// polynomial x^32+x^22+x^2+x+1 under the Fibonacci shift-right update,
+// giving a maximal-length LFSR of period 2^32-1 — cannot be checked by
+// brute-force stepping in a unit test. But the LFSR update is linear over
+// GF(2), so it is one 32x32 bit-matrix M, and the claim is exactly
+// matrix-order primality: M^(2^32-1) = I while M^((2^32-1)/p) != I for
+// every prime factor p of 2^32-1 = 3 * 5 * 17 * 257 * 65537. Matrix
+// exponentiation by squaring proves that in microseconds.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "digital/patterns.h"
+
+namespace cmldft::digital {
+namespace {
+
+/// A GF(2) linear map on 32-bit states, stored column-wise:
+/// cols[j] = M * e_j, so M * v = XOR of cols[j] over the set bits j of v.
+struct BitMatrix {
+  std::array<uint32_t, 32> cols{};
+
+  static BitMatrix Identity() {
+    BitMatrix m;
+    for (int j = 0; j < 32; ++j) m.cols[static_cast<size_t>(j)] = 1u << j;
+    return m;
+  }
+
+  uint32_t Apply(uint32_t v) const {
+    uint32_t out = 0;
+    for (int j = 0; j < 32; ++j) {
+      if ((v >> j) & 1u) out ^= cols[static_cast<size_t>(j)];
+    }
+    return out;
+  }
+
+  BitMatrix operator*(const BitMatrix& rhs) const {
+    BitMatrix out;
+    for (int j = 0; j < 32; ++j) {
+      out.cols[static_cast<size_t>(j)] = Apply(rhs.cols[static_cast<size_t>(j)]);
+    }
+    return out;
+  }
+
+  bool operator==(const BitMatrix& o) const { return cols == o.cols; }
+
+  BitMatrix Pow(uint64_t e) const {
+    BitMatrix result = Identity();
+    BitMatrix base = *this;
+    while (e != 0) {
+      if (e & 1u) result = result * base;
+      base = base * base;
+      e >>= 1;
+    }
+    return result;
+  }
+};
+
+/// The one-step transition matrix of Lfsr::NextBit for the given taps:
+/// state' = (state >> 1) | (parity(state & taps) << 31).
+BitMatrix LfsrStepMatrix(uint32_t taps) {
+  BitMatrix m;
+  for (int j = 0; j < 32; ++j) {
+    uint32_t image = 0;
+    if (j >= 1) image |= 1u << (j - 1);        // the shift-right part
+    if ((taps >> j) & 1u) image |= 1u << 31;   // feedback into the top bit
+    m.cols[static_cast<size_t>(j)] = image;
+  }
+  return m;
+}
+
+constexpr uint32_t kDefaultTaps = 0x00400007u;
+
+TEST(LfsrProperty, StepMatrixMatchesImplementation) {
+  // Tie the algebraic model to the real code before trusting its proof.
+  const BitMatrix m = LfsrStepMatrix(kDefaultTaps);
+  for (uint32_t seed : {0xACE1u, 1u, 0xDEADBEEFu, 0x80000000u, 0x7FFFFFFFu}) {
+    Lfsr lfsr(seed);
+    uint32_t model = seed;
+    for (int step = 0; step < 64; ++step) {
+      lfsr.NextBit();
+      model = m.Apply(model);
+      ASSERT_EQ(lfsr.state(), model) << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(LfsrProperty, DefaultPolynomialHasFullPeriod) {
+  const BitMatrix m = LfsrStepMatrix(kDefaultTaps);
+  const BitMatrix identity = BitMatrix::Identity();
+  constexpr uint64_t kPeriod = 0xFFFFFFFFull;  // 2^32 - 1
+
+  // M^(2^32-1) = I: every nonzero state returns after the full period.
+  EXPECT_TRUE(m.Pow(kPeriod) == identity);
+
+  // No proper divisor of 2^32-1 is already the order: it suffices to rule
+  // out the maximal divisors (2^32-1)/p over the five Fermat-prime factors.
+  for (uint64_t p : {3ull, 5ull, 17ull, 257ull, 65537ull}) {
+    EXPECT_FALSE(m.Pow(kPeriod / p) == identity)
+        << "order divides (2^32-1)/" << p << " — polynomial not primitive";
+  }
+}
+
+TEST(LfsrProperty, StateNeverReachesZero) {
+  // Zero is the one fixed point of any LFSR; a maximal-length register
+  // must never enter it. The constructor coerces a zero seed away, and
+  // stepping preserves nonzero-ness (spot check across seeds and steps).
+  EXPECT_NE(Lfsr(0u).state(), 0u);
+  for (uint32_t seed : {1u, 0xACE1u, 0xFFFFFFFFu, 0x00010000u}) {
+    Lfsr lfsr(seed);
+    for (int step = 0; step < 4096; ++step) {
+      lfsr.NextBit();
+      ASSERT_NE(lfsr.state(), 0u) << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(LfsrProperty, GeneratePatternsIsSeedDeterministic) {
+  const auto a = GeneratePatterns(9, 200, 0xACE1u);
+  const auto b = GeneratePatterns(9, 200, 0xACE1u);
+  EXPECT_EQ(a, b);
+
+  // A different seed gives a different stream (same shape).
+  const auto c = GeneratePatterns(9, 200, 0xBEEFu);
+  ASSERT_EQ(c.size(), a.size());
+  EXPECT_NE(a, c);
+
+  // Prefix property: a shorter request is a prefix of a longer one.
+  const auto prefix = GeneratePatterns(9, 50, 0xACE1u);
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    ASSERT_EQ(prefix[i], a[i]) << "pattern " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cmldft::digital

@@ -81,11 +81,11 @@ TEST(Synthesis, CombinationalExhaustiveSmall) {
   const auto m = gates.AddGate(digital::GateType::kMux2, "m", {c, x, n});
   gates.MarkOutput(o);
   gates.MarkOutput(m);
-  ExpectEquivalence(gates, digital::ExhaustivePatterns(3));
+  ExpectEquivalence(gates, *digital::ExhaustivePatterns(3));
 }
 
 TEST(Synthesis, C17MatchesDigitalExhaustively) {
-  ExpectEquivalence(digital::MakeC17(), digital::ExhaustivePatterns(5));
+  ExpectEquivalence(digital::MakeC17(), *digital::ExhaustivePatterns(5));
 }
 
 TEST(Synthesis, SequentialScramblerMatchesDigital) {

@@ -9,13 +9,18 @@
 // recomputed from the outcome records, never trusted from headers), and
 // that all shards agree bit-for-bit on the fault-free reference.
 //
+// The campaign kind is auto-detected from the stores' record types:
+// defect-screening stores merge into the coverage_comparison report,
+// pattern-coverage stores (campaign/pattern_campaign.h) into the
+// pattern_coverage report — the suite record inside a pattern store
+// carries its own sweep configuration, so --preset is screening-only.
+//
 //   --manifest         write the campaign manifest JSON (golden-checkable)
-//   --coverage-report  write the coverage_comparison bench report derived
-//                      from the merged outcomes; with the matching preset
-//                      this is byte-identical to the monolithic bench run
+//   --coverage-report  write the bench report derived from the merged
+//                      records; byte-identical to the monolithic bench run
 //   --preset           screening preset the campaign ran (for the
 //                      coverage report's thresholds; default
-//                      coverage_comparison)
+//                      coverage_comparison; ignored for pattern stores)
 //
 // Exit codes: 0 = merged, 1 = merge refused (incomplete/corrupt/foreign
 // stores) or write failure, 2 = usage error.
@@ -26,9 +31,11 @@
 #include "bench/paper_bench.h"
 #include "campaign/manifest.h"
 #include "campaign/merge.h"
+#include "campaign/pattern_campaign.h"
 #include "campaign/runner.h"
 #include "report/json.h"
 #include "report/report.h"
+#include "testgen/pattern_sweep.h"
 
 using namespace cmldft;
 
@@ -75,6 +82,59 @@ int main(int argc, char** argv) {
   if (stores.empty()) {
     std::fprintf(stderr, "%s: no campaign stores given\n", argv[0]);
     return Usage(argv[0]);
+  }
+
+  auto is_pattern = campaign::StoreIsPatternCampaign(stores.front());
+  if (!is_pattern.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 is_pattern.status().ToString().c_str());
+    return 1;
+  }
+  if (*is_pattern) {
+    auto merged = campaign::MergePatternStores(stores);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("merged %zu store(s): %llu units, fingerprint %016llx\n",
+                stores.size(),
+                static_cast<unsigned long long>(merged->total_units),
+                static_cast<unsigned long long>(merged->fingerprint));
+    for (size_t b = 0; b < merged->sweep.benchmarks.size(); ++b) {
+      const size_t ladder = merged->sweep.pattern_counts.size();
+      const testgen::SweepUnitResult& top = merged->units[(b + 1) * ladder - 1];
+      const double cov = top.togglable == 0
+                             ? 100.0
+                             : 100.0 * top.toggled / top.togglable;
+      std::printf("  %-12s : %.1f%% toggle coverage at %u patterns, "
+                  "%u residual X\n",
+                  merged->sweep.benchmarks[b].c_str(), cov, top.patterns,
+                  top.residual_x);
+    }
+
+    if (!manifest_path.empty()) {
+      const report::Report manifest =
+          campaign::BuildPatternCampaignManifest(*merged);
+      util::Status st =
+          report::WriteJsonFile(manifest_path, manifest.ToJson());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!coverage_path.empty()) {
+      report::Report cover(testgen::kPatternCoverageExperiment,
+                           testgen::kPatternCoveragePaperRef,
+                           testgen::kPatternCoverageSummary);
+      testgen::FillPatternCoverageReport(merged->sweep, merged->units, cover);
+      util::Status st = report::WriteJsonFile(coverage_path, cover.ToJson());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   auto merged = campaign::MergeCampaignStores(stores);

@@ -11,7 +11,11 @@
 // campaign_merge reassembles the monolithic report bit-identically.
 //
 // An existing store is only touched when --resume (continue it) or
-// --overwrite (discard it) says so; presets: coverage_comparison, quick.
+// --overwrite (discard it) says so. Screening presets:
+// coverage_comparison, quick. Presets with a "pattern_" prefix
+// (pattern_coverage, pattern_quick) run a toggle-coverage sweep over
+// sequential benchmarks instead (campaign/pattern_campaign.h) — same
+// store format, durability, and resume semantics, different payload.
 // --abort-after-bytes is the crash-injection hook used by tests and CI:
 // the process SIGKILLs itself mid-write once the store reaches that size.
 //
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/pattern_campaign.h"
 #include "campaign/runner.h"
 #include "report/telemetry_json.h"
 #include "util/file_io.h"
@@ -38,7 +43,8 @@ int Usage(const char* argv0) {
       "          [--resume] [--overwrite] [--threads N] [--fsync-batch N]\n"
       "          [--batch K] [--telemetry <path.json>]\n"
       "          [--abort-after-bytes N]\n"
-      "presets: coverage_comparison (default), quick\n",
+      "presets: coverage_comparison (default), quick, pattern_coverage, "
+      "pattern_quick\n",
       argv0);
   return 2;
 }
@@ -103,24 +109,11 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
-  campaign::CampaignOptions opt;
-  auto screening = campaign::ScreeningPreset(preset);
-  if (!screening.ok()) {
-    std::fprintf(stderr, "%s\n", screening.status().ToString().c_str());
-    return 2;
-  }
-  opt.screening = *screening;
-  opt.screening.threads = threads;
-  opt.screening.batch = batch;
   auto shard = campaign::ParseShardSpec(shard_spec);
   if (!shard.ok()) {
     std::fprintf(stderr, "%s\n", shard.status().ToString().c_str());
     return 2;
   }
-  opt.shard = *shard;
-  opt.store_path = store_path;
-  opt.fsync_batch = fsync_batch;
-  opt.abort_at_bytes = abort_at_bytes;
 
   const bool store_exists = util::FileSizeOf(store_path).ok();
   if (store_exists && !resume && !overwrite) {
@@ -134,7 +127,38 @@ int main(int argc, char** argv) {
     std::remove(store_path.c_str());
   }
 
-  auto stats = campaign::RunScreeningCampaign(opt);
+  util::StatusOr<campaign::CampaignRunStats> stats =
+      util::Status::Internal("unreachable");
+  if (campaign::IsPatternPreset(preset)) {
+    campaign::PatternCampaignOptions opt;
+    auto sweep = campaign::PatternSweepPreset(preset);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+      return 2;
+    }
+    opt.sweep = *sweep;
+    opt.shard = *shard;
+    opt.store_path = store_path;
+    opt.threads = threads;
+    opt.fsync_batch = fsync_batch;
+    opt.abort_at_bytes = abort_at_bytes;
+    stats = campaign::RunPatternCampaign(opt);
+  } else {
+    campaign::CampaignOptions opt;
+    auto screening = campaign::ScreeningPreset(preset);
+    if (!screening.ok()) {
+      std::fprintf(stderr, "%s\n", screening.status().ToString().c_str());
+      return 2;
+    }
+    opt.screening = *screening;
+    opt.screening.threads = threads;
+    opt.screening.batch = batch;
+    opt.shard = *shard;
+    opt.store_path = store_path;
+    opt.fsync_batch = fsync_batch;
+    opt.abort_at_bytes = abort_at_bytes;
+    stats = campaign::RunScreeningCampaign(opt);
+  }
   if (!stats.ok()) {
     std::fprintf(stderr, "campaign shard failed: %s\n",
                  stats.status().ToString().c_str());
@@ -142,7 +166,7 @@ int main(int argc, char** argv) {
   }
   std::printf("shard %s of %llu-unit universe: %llu unit(s) in shard, "
               "%llu resumed, %llu executed%s\n",
-              opt.shard.ToString().c_str(),
+              shard->ToString().c_str(),
               static_cast<unsigned long long>(stats->total_units),
               static_cast<unsigned long long>(stats->shard_units),
               static_cast<unsigned long long>(stats->resumed_skips),
