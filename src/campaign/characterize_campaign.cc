@@ -1,4 +1,4 @@
-#include "campaign/pattern_campaign.h"
+#include "campaign/characterize_campaign.h"
 
 #include <mutex>
 #include <optional>
@@ -14,9 +14,9 @@ namespace cmldft::campaign {
 
 namespace {
 
-// Same registry names as the screening runner: the campaign.* counters
+// Same registry names as the other runners: the campaign.* counters
 // measure the shared durable-store machinery, whichever payload rides it.
-struct PatternMetrics {
+struct CharacterizationMetrics {
   util::telemetry::Counter runs =
       util::telemetry::GetCounter("campaign.runs");
   util::telemetry::Counter records_written =
@@ -29,120 +29,164 @@ struct PatternMetrics {
       util::telemetry::GetCounter("campaign.merges");
 };
 
-const PatternMetrics& Metrics() {
-  static const PatternMetrics m;
+const CharacterizationMetrics& Metrics() {
+  static const CharacterizationMetrics m;
   return m;
 }
 
-util::Status ValidateSweep(const testgen::PatternSweepConfig& sweep) {
-  if (sweep.benchmarks.empty()) {
-    return util::Status::InvalidArgument("sweep has no benchmarks");
+util::Status ValidateConfig(const core::CharacterizationConfig& config) {
+  if (config.temperatures_c.empty()) {
+    return util::Status::InvalidArgument("characterization has no temperatures");
   }
-  if (sweep.pattern_counts.empty()) {
-    return util::Status::InvalidArgument("sweep has no pattern counts");
+  if (config.supplies.empty()) {
+    return util::Status::InvalidArgument("characterization has no supplies");
   }
-  for (int c : sweep.pattern_counts) {
-    if (c <= 0) {
-      return util::Status::InvalidArgument(
-          "sweep pattern counts must be positive, got " + std::to_string(c));
-    }
+  if (config.vtests.empty()) {
+    return util::Status::InvalidArgument("characterization has no vtest values");
   }
-  for (const std::string& name : sweep.benchmarks) {
-    auto nl = testgen::MakeSweepBenchmark(name);
-    if (!nl.ok()) return nl.status();
+  if (config.trials < 0) {
+    return util::Status::InvalidArgument(
+        "characterization trials must be non-negative, got " +
+        std::to_string(config.trials));
+  }
+  if (config.probe_step <= 0.0 || config.probe_max <= 0.0 ||
+      config.hysteresis_step <= 0.0) {
+    return util::Status::InvalidArgument(
+        "characterization probe/hysteresis steps must be positive");
+  }
+  if (config.load_gates < 1) {
+    return util::Status::InvalidArgument(
+        "characterization load_gates must be >= 1");
   }
   return util::Status::Ok();
 }
 
 }  // namespace
 
-std::string EncodePatternSuiteRecord(const testgen::PatternSweepConfig& sweep) {
+std::string EncodeCharacterizationSuiteRecord(
+    const core::CharacterizationConfig& config) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RecordType::kPatternSuite));
-  w.U32(static_cast<uint32_t>(sweep.benchmarks.size()));
-  for (const std::string& name : sweep.benchmarks) w.Str(name);
-  w.U32(static_cast<uint32_t>(sweep.pattern_counts.size()));
-  for (int c : sweep.pattern_counts) w.I32(c);
-  w.U32(sweep.seed);
-  w.I32(sweep.init_max_cycles);
+  w.U8(static_cast<uint8_t>(RecordType::kCharacterizationSuite));
+  w.F64Vec(config.temperatures_c);
+  w.F64Vec(config.supplies);
+  w.F64Vec(config.vtests);
+  w.I32(config.trials);
+  w.U32(config.seed);
+  w.F64(config.variation.load_resistance_spread);
+  w.F64(config.variation.wire_cap_spread);
+  w.F64(config.variation.is_spread);
+  w.F64(config.variation.beta_spread);
+  w.F64Vec(config.excursion_levels);
+  w.F64(config.response_window);
+  w.F64(config.response_load_cap);
+  w.I32(config.load_gates);
+  w.F64(config.load_pipe);
+  w.F64(config.probe_max);
+  w.F64(config.probe_step);
+  w.F64(config.hysteresis_step);
   return w.Take();
 }
 
-std::string EncodePatternUnitRecord(uint64_t unit_id,
-                                    const testgen::SweepUnitResult& unit) {
+std::string EncodeCharacterizationUnitRecord(
+    uint64_t unit_id, const core::CharacterizationUnitResult& unit) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RecordType::kPatternUnit));
+  w.U8(static_cast<uint8_t>(RecordType::kCharacterizationUnit));
   w.U64(unit_id);
-  w.U32(unit.benchmark);
-  w.U32(unit.patterns);
-  w.U32(unit.toggled);
-  w.U32(unit.togglable);
-  w.U64(unit.transitions);
-  w.U32(unit.init_cycles);
-  w.U32(unit.residual_x);
-  w.U32(unit.dffs);
+  w.U32(unit.corner);
+  w.U32(unit.die);
+  w.F64(unit.v1_static_excursion);
+  w.F64(unit.v2_static_excursion);
+  w.F64(unit.v2_clean_drop);
+  w.F64(unit.v2_dynamic_threshold);
+  w.F64(unit.trip_up);
+  w.F64(unit.trip_down);
+  w.F64(unit.vfb_pass);
+  w.F64(unit.vfb_fail);
+  w.Bool(unit.hysteresis_found);
+  w.Bool(unit.load_clean_flagged);
+  w.Bool(unit.load_pipe_flagged);
+  w.F64(unit.load_clean_vout);
+  w.F64(unit.load_pipe_vout);
+  w.U32(unit.measure_failures);
   return w.Take();
 }
 
-util::StatusOr<DecodedPatternRecord> DecodePatternRecord(
+util::StatusOr<DecodedCharacterizationRecord> DecodeCharacterizationRecord(
     std::string_view payload) {
   ByteReader r(payload);
-  DecodedPatternRecord rec;
+  DecodedCharacterizationRecord rec;
   const uint8_t type = r.U8();
   switch (static_cast<RecordType>(type)) {
-    case RecordType::kPatternSuite: {
-      rec.type = RecordType::kPatternSuite;
-      const uint32_t benchmarks = r.U32();
-      for (uint32_t i = 0; i < benchmarks && r.ok(); ++i) {
-        rec.suite.benchmarks.push_back(r.Str());
-      }
-      const uint32_t counts = r.U32();
-      for (uint32_t i = 0; i < counts && r.ok(); ++i) {
-        rec.suite.pattern_counts.push_back(r.I32());
-      }
+    case RecordType::kCharacterizationSuite: {
+      rec.type = RecordType::kCharacterizationSuite;
+      rec.suite.temperatures_c = r.F64Vec();
+      rec.suite.supplies = r.F64Vec();
+      rec.suite.vtests = r.F64Vec();
+      rec.suite.trials = r.I32();
       rec.suite.seed = r.U32();
-      rec.suite.init_max_cycles = r.I32();
+      rec.suite.variation.load_resistance_spread = r.F64();
+      rec.suite.variation.wire_cap_spread = r.F64();
+      rec.suite.variation.is_spread = r.F64();
+      rec.suite.variation.beta_spread = r.F64();
+      rec.suite.excursion_levels = r.F64Vec();
+      rec.suite.response_window = r.F64();
+      rec.suite.response_load_cap = r.F64();
+      rec.suite.load_gates = r.I32();
+      rec.suite.load_pipe = r.F64();
+      rec.suite.probe_max = r.F64();
+      rec.suite.probe_step = r.F64();
+      rec.suite.hysteresis_step = r.F64();
       break;
     }
-    case RecordType::kPatternUnit: {
-      rec.type = RecordType::kPatternUnit;
+    case RecordType::kCharacterizationUnit: {
+      rec.type = RecordType::kCharacterizationUnit;
       rec.unit_id = r.U64();
-      rec.unit.benchmark = r.U32();
-      rec.unit.patterns = r.U32();
-      rec.unit.toggled = r.U32();
-      rec.unit.togglable = r.U32();
-      rec.unit.transitions = r.U64();
-      rec.unit.init_cycles = r.U32();
-      rec.unit.residual_x = r.U32();
-      rec.unit.dffs = r.U32();
+      rec.unit.corner = r.U32();
+      rec.unit.die = r.U32();
+      rec.unit.v1_static_excursion = r.F64();
+      rec.unit.v2_static_excursion = r.F64();
+      rec.unit.v2_clean_drop = r.F64();
+      rec.unit.v2_dynamic_threshold = r.F64();
+      rec.unit.trip_up = r.F64();
+      rec.unit.trip_down = r.F64();
+      rec.unit.vfb_pass = r.F64();
+      rec.unit.vfb_fail = r.F64();
+      rec.unit.hysteresis_found = r.Bool();
+      rec.unit.load_clean_flagged = r.Bool();
+      rec.unit.load_pipe_flagged = r.Bool();
+      rec.unit.load_clean_vout = r.F64();
+      rec.unit.load_pipe_vout = r.F64();
+      rec.unit.measure_failures = r.U32();
       break;
     }
     case RecordType::kReference:
     case RecordType::kOutcome:
       return util::Status::FailedPrecondition(
-          "store holds defect-screening records, not pattern-coverage "
+          "store holds defect-screening records, not characterization "
           "records — merge it with the screening campaign path "
           "(campaign_merge auto-detects; see docs/campaign.md)");
-    case RecordType::kCharacterizationSuite:
-    case RecordType::kCharacterizationUnit:
+    case RecordType::kPatternSuite:
+    case RecordType::kPatternUnit:
       return util::Status::FailedPrecondition(
-          "store holds characterization records, not pattern-coverage "
-          "records — merge it with the characterization campaign path "
+          "store holds pattern-coverage records, not characterization "
+          "records — merge it with the pattern campaign path "
           "(campaign_merge auto-detects; see docs/campaign.md)");
     default:
       return util::Status::ParseError("unknown campaign record type " +
                                       std::to_string(type));
   }
   if (!r.ok()) {
-    return util::Status::ParseError("truncated pattern record payload");
+    return util::Status::ParseError(
+        "truncated characterization record payload");
   }
   if (!r.AtEnd()) {
-    return util::Status::ParseError("trailing bytes in pattern record");
+    return util::Status::ParseError(
+        "trailing bytes in characterization record");
   }
   return rec;
 }
 
-util::StatusOr<bool> StoreIsPatternCampaign(const std::string& path) {
+util::StatusOr<bool> StoreIsCharacterizationCampaign(const std::string& path) {
   auto scan = ScanStore(path);
   if (!scan.ok()) return scan.status();
   if (scan->records.empty()) {
@@ -151,22 +195,23 @@ util::StatusOr<bool> StoreIsPatternCampaign(const std::string& path) {
                "undetermined; run (or resume) the shard first");
   }
   const uint8_t type = static_cast<uint8_t>(scan->records.front()[0]);
-  return type == static_cast<uint8_t>(RecordType::kPatternSuite) ||
-         type == static_cast<uint8_t>(RecordType::kPatternUnit);
+  return type == static_cast<uint8_t>(RecordType::kCharacterizationSuite) ||
+         type == static_cast<uint8_t>(RecordType::kCharacterizationUnit);
 }
 
-util::StatusOr<CampaignRunStats> RunPatternCampaign(
-    const PatternCampaignOptions& options) {
+util::StatusOr<CampaignRunStats> RunCharacterizationCampaign(
+    const CharacterizationCampaignOptions& options) {
   Metrics().runs.Increment();
-  CMLDFT_RETURN_IF_ERROR(ValidateSweep(options.sweep));
+  CMLDFT_RETURN_IF_ERROR(ValidateConfig(options.config));
 
   CampaignRunStats stats;
-  stats.total_units = options.sweep.unit_count();
+  stats.total_units = options.config.unit_count();
   stats.shard_units = options.shard.UnitsOf(stats.total_units);
-  const StoreHeader header{testgen::SweepFingerprint(options.sweep),
+  const StoreHeader header{core::CharacterizationFingerprint(options.config),
                            options.shard.index, options.shard.count,
                            stats.total_units};
-  const std::string suite_record = EncodePatternSuiteRecord(options.sweep);
+  const std::string suite_record =
+      EncodeCharacterizationSuiteRecord(options.config);
 
   std::unordered_set<uint64_t> completed;
   std::optional<StoreWriter> writer;
@@ -179,9 +224,9 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
     if (scan->header.fingerprint != header.fingerprint) {
       return util::Status::FailedPrecondition(
           options.store_path +
-          ": store fingerprint does not match the requested sweep — it "
-          "belongs to a different benchmark set/ladder/seed; use a fresh "
-          "store path (or delete the stale file)");
+          ": store fingerprint does not match the requested characterization "
+          "— it belongs to a different corner grid/variation model/seed; use "
+          "a fresh store path (or delete the stale file)");
     }
     if (scan->header.shard_index != header.shard_index ||
         scan->header.shard_count != header.shard_count) {
@@ -204,22 +249,22 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
       Metrics().torn_tail_recoveries.Increment();
     }
     for (const std::string& payload : scan->records) {
-      auto rec = DecodePatternRecord(payload);
+      auto rec = DecodeCharacterizationRecord(payload);
       if (!rec.ok()) {
         return util::Status(rec.status().code(),
                             options.store_path +
                                 ": undecodable record in valid region: " +
                                 rec.status().message());
       }
-      if (rec->type == RecordType::kPatternSuite) {
+      if (rec->type == RecordType::kCharacterizationSuite) {
         // The fingerprint already pins the configuration; a divergent
         // suite record under a matching fingerprint is tampering.
         if (payload != suite_record) {
           return util::Status::FailedPrecondition(
               options.store_path +
-              ": suite record does not match the requested sweep despite a "
-              "matching fingerprint — the store is corrupt; restart the "
-              "campaign with a fresh store");
+              ": suite record does not match the requested characterization "
+              "despite a matching fingerprint — the store is corrupt; "
+              "restart the campaign with a fresh store");
         }
         need_suite_record = false;
       } else {
@@ -265,15 +310,16 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
           std::lock_guard<std::mutex> lock(mu);
           if (!first_error.ok()) return;
         }
-        auto unit = testgen::EvaluateSweepUnit(options.sweep, pending[i]);
+        auto unit =
+            core::EvaluateCharacterizationUnit(options.config, pending[i]);
         std::lock_guard<std::mutex> lock(mu);
         if (!first_error.ok()) return;
         if (!unit.ok()) {
           first_error = unit.status();
           return;
         }
-        util::Status st =
-            writer->AppendRecord(EncodePatternUnitRecord(pending[i], *unit));
+        util::Status st = writer->AppendRecord(
+            EncodeCharacterizationUnitRecord(pending[i], *unit));
         if (!st.ok()) {
           first_error = st;
           return;
@@ -286,41 +332,47 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
   return stats;
 }
 
-bool IsPatternPreset(std::string_view name) {
-  return name.size() >= 8 && name.substr(0, 8) == "pattern_";
+bool IsCharacterizationPreset(std::string_view name) {
+  return name.size() >= 16 && name.substr(0, 16) == "characterization";
 }
 
-util::StatusOr<testgen::PatternSweepConfig> PatternSweepPreset(
+util::StatusOr<core::CharacterizationConfig> CharacterizationPreset(
     std::string_view name) {
-  testgen::PatternSweepConfig sweep;
-  if (name == "pattern_coverage") {
-    // Must stay bit-identical to bench/pattern_coverage.cc: the CI
-    // kill+resume campaign merges into that bench's golden snapshot.
-    sweep.benchmarks = {"counter8", "shift16", "johnson8", "fsm16",
-                        "scrambler12"};
-    sweep.pattern_counts = {16, 64, 256, 1024};
-    return sweep;
+  core::CharacterizationConfig config;
+  // Yield-surface rows pin the paper's nominal detection points (0.35 V
+  // variant 2, 0.57 V variant 1) alongside the rest of the ladder.
+  config.excursion_levels = {0.10, 0.20, 0.35, 0.45, 0.57, 0.70, 0.90};
+  if (name == "characterization") {
+    // Must stay identical to bench/characterization.cc: the CI kill+resume
+    // campaign merges into that bench's golden snapshot.
+    config.temperatures_c = {-40.0, 27.0, 125.0};
+    config.supplies = {3.0, 3.3, 3.6};
+    config.vtests = {3.6, 3.7, 3.8};
+    config.trials = 2;
+    return config;
   }
-  if (name == "pattern_quick") {
-    sweep.benchmarks = {"counter4", "shift4"};
-    sweep.pattern_counts = {8, 32};
-    return sweep;
+  if (name == "characterization_quick") {
+    config.temperatures_c = {27.0};
+    config.supplies = {3.3};
+    config.vtests = {3.6, 3.7};
+    config.trials = 1;
+    return config;
   }
   return util::Status::InvalidArgument(
-      "unknown pattern sweep preset '" + std::string(name) +
-      "' (available: pattern_coverage, pattern_quick)");
+      "unknown characterization preset '" + std::string(name) +
+      "' (available: characterization, characterization_quick)");
 }
 
-util::StatusOr<PatternMergeResult> MergePatternStores(
+util::StatusOr<CharacterizationMergeResult> MergeCharacterizationStores(
     const std::vector<std::string>& paths) {
   Metrics().merges.Increment();
   if (paths.empty()) {
     return util::Status::InvalidArgument("no campaign stores to merge");
   }
 
-  PatternMergeResult out;
+  CharacterizationMergeResult out;
   std::optional<std::string> suite_bytes;
-  std::vector<std::optional<testgen::SweepUnitResult>> units;
+  std::vector<std::optional<core::CharacterizationUnitResult>> units;
 
   for (const std::string& path : paths) {
     auto scan = ScanStore(path);
@@ -346,26 +398,28 @@ util::StatusOr<PatternMergeResult> MergePatternStores(
 
     uint64_t unit_records = 0;
     for (const std::string& payload : scan->records) {
-      auto rec = DecodePatternRecord(payload);
+      auto rec = DecodeCharacterizationRecord(payload);
       if (!rec.ok()) {
         return util::Status(rec.status().code(),
                             path + ": " + rec.status().message());
       }
-      if (rec->type == RecordType::kPatternSuite) {
+      if (rec->type == RecordType::kCharacterizationSuite) {
         if (suite_bytes.has_value() && *suite_bytes != payload) {
           return util::Status::FailedPrecondition(
               path + ": suite records differ between shard stores; the "
-                     "shards were not produced by the same sweep "
+                     "shards were not produced by the same characterization "
                      "configuration");
         }
         if (!suite_bytes.has_value()) {
           suite_bytes = payload;
-          out.sweep = std::move(rec->suite);
-          if (testgen::SweepFingerprint(out.sweep) != out.fingerprint) {
+          out.config = std::move(rec->suite);
+          if (core::CharacterizationFingerprint(out.config) !=
+              out.fingerprint) {
             return util::Status::FailedPrecondition(
                 path + ": suite record does not hash to the store header "
-                       "fingerprint — the store is corrupt or the benchmark "
-                       "generators changed since the campaign ran");
+                       "fingerprint — the store is corrupt or the "
+                       "characterization engines changed since the campaign "
+                       "ran");
           }
         }
         continue;
@@ -389,7 +443,7 @@ util::StatusOr<PatternMergeResult> MergePatternStores(
 
   if (!suite_bytes.has_value()) {
     return util::Status::FailedPrecondition(
-        "no store carries the sweep suite record");
+        "no store carries the characterization suite record");
   }
 
   uint64_t missing = 0;

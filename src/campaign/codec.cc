@@ -99,6 +99,12 @@ util::StatusOr<DecodedRecord> DecodeRecord(std::string_view payload) {
           "store holds pattern-coverage records, not defect-screening "
           "records — merge it with the pattern campaign path "
           "(campaign_merge auto-detects; see docs/campaign.md)");
+    case RecordType::kCharacterizationSuite:
+    case RecordType::kCharacterizationUnit:
+      return util::Status::FailedPrecondition(
+          "store holds characterization records, not defect-screening "
+          "records — merge it with the characterization campaign path "
+          "(campaign_merge auto-detects; see docs/campaign.md)");
     default:
       return util::Status::ParseError("unknown campaign record type " +
                                       std::to_string(type));

@@ -30,6 +30,11 @@ enum class RecordType : uint8_t {
   kPatternSuite = 3,
   /// One completed pattern-coverage sweep unit (pattern_campaign.h).
   kPatternUnit = 4,
+  /// Characterization sweep suite description (characterize_campaign.h;
+  /// one per store, written first).
+  kCharacterizationSuite = 5,
+  /// One completed characterization unit (characterize_campaign.h).
+  kCharacterizationUnit = 6,
 };
 
 /// A parsed store record: `type` says which of the two payloads is live.

@@ -78,4 +78,39 @@ report::Report BuildPatternCampaignManifest(const PatternMergeResult& merged) {
   return rep;
 }
 
+report::Report BuildCharacterizationCampaignManifest(
+    const CharacterizationMergeResult& merged) {
+  using report::Tol;
+  report::Report rep(
+      "characterization_campaign_manifest",
+      "§6 detection thresholds taken off-corner, recombined from shards",
+      "merged shard stores of a durable characterization campaign");
+
+  rep.AddText("fingerprint",
+              util::StrPrintf("%016llx",
+                              static_cast<unsigned long long>(
+                                  merged.fingerprint)));
+  rep.AddInt("total_units", static_cast<long long>(merged.total_units));
+  rep.AddInt("shard_count", static_cast<long long>(merged.shard_count));
+  rep.AddInt("corners", static_cast<long long>(merged.config.corner_count()));
+  rep.AddInt("dies_per_corner", merged.config.trials + 1);
+
+  uint64_t hysteresis_found = 0;
+  uint64_t measure_failures = 0;
+  for (const core::CharacterizationUnitResult& u : merged.units) {
+    if (u.hysteresis_found) ++hysteresis_found;
+    if (u.measure_failures != 0) ++measure_failures;
+  }
+  rep.AddInt("hysteresis_found", static_cast<long long>(hysteresis_found));
+  rep.AddInt("units_with_failures",
+             static_cast<long long>(measure_failures));
+
+  report::Table& shards = rep.AddTable(
+      "shards", {{"shard", Tol::Info()}, {"units", Tol::Info()}});
+  for (const auto& [index, count] : merged.shard_units) {
+    shards.NewRow().Int(index).Int(static_cast<long long>(count));
+  }
+  return rep;
+}
+
 }  // namespace cmldft::campaign

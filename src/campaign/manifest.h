@@ -7,6 +7,7 @@
 // configuration cannot masquerade as the golden campaign.
 #pragma once
 
+#include "campaign/characterize_campaign.h"
 #include "campaign/merge.h"
 #include "campaign/pattern_campaign.h"
 #include "report/report.h"
@@ -20,5 +21,11 @@ report::Report BuildCampaignManifest(const MergeResult& merged);
 /// Pattern-campaign counterpart: decomposition and headline tallies of a
 /// merged pattern-coverage sweep. Equally deterministic.
 report::Report BuildPatternCampaignManifest(const PatternMergeResult& merged);
+
+/// Characterization-campaign counterpart: decomposition and headline
+/// tallies of a merged corner/Monte-Carlo characterization. Equally
+/// deterministic.
+report::Report BuildCharacterizationCampaignManifest(
+    const CharacterizationMergeResult& merged);
 
 }  // namespace cmldft::campaign

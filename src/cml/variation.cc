@@ -12,6 +12,12 @@ CmlTechnology SampleTechnology(const CmlTechnology& nominal,
   t.wire_cap *=
       1.0 + rng.NextDouble(-model.wire_cap_spread, model.wire_cap_spread);
   t.npn.is *= 1.0 + rng.NextDouble(-model.is_spread, model.is_spread);
+  // Draw order is part of the campaign fingerprint contract: swing ->
+  // wire_cap -> is -> (beta iff beta_spread > 0). The conditional keeps
+  // three-spread models bit-identical to the legacy stream.
+  if (model.beta_spread > 0.0) {
+    t.npn.bf *= 1.0 + rng.NextDouble(-model.beta_spread, model.beta_spread);
+  }
   return t;
 }
 

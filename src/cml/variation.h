@@ -18,6 +18,10 @@ struct VariationModel {
   double load_resistance_spread = 0.10;  ///< via the swing parameter
   double wire_cap_spread = 0.25;
   double is_spread = 0.15;               ///< saturation-current mismatch
+  /// Forward-beta mismatch. Defaults to 0 so legacy experiments keep their
+  /// exact RNG stream: the β draw only happens when the spread is nonzero
+  /// (a fourth draw would shift every later sample of a seeded campaign).
+  double beta_spread = 0.0;
 };
 
 /// Draw a per-gate technology variant around `nominal`.

@@ -1,17 +1,27 @@
 #include "devices/diode.h"
 
+#include <cmath>
+
 #include "devices/junction.h"
 #include "devices/passive.h"
 #include "util/units.h"
 
 namespace cmldft::devices {
 
+double SaturationCurrentAt(const DiodeParams& params, double temp_k) {
+  const double vt_nom = util::ThermalVoltage(params.tnom);
+  const double vt = util::ThermalVoltage(temp_k);
+  return params.is * std::pow(temp_k / params.tnom, params.xti) *
+         std::exp(params.eg / vt_nom - params.eg / vt);
+}
+
 void Diode::Stamp(netlist::StampContext& ctx) const {
   const netlist::NodeId a = node(0), c = node(1);
   const double v = ctx.V(a) - ctx.V(c);
   const double vt = util::ThermalVoltage(ctx.temperature());
 
-  const JunctionEval j = EvalJunction(v, params_.is, params_.n, vt, ctx.gmin());
+  const JunctionEval j = EvalJunction(v, SaturationCurrentAt(params_, ctx.temperature()),
+                                      params_.n, vt, ctx.gmin());
   ctx.StampCurrent(a, c, j.current, j.conductance);
 
   // Charge: depletion + diffusion (tt * i_junction).

@@ -9,14 +9,22 @@ namespace cmldft::devices {
 
 /// Diode model parameters (SPICE .model D subset).
 struct DiodeParams {
-  double is = 1e-16;   ///< saturation current [A]
+  double is = 1e-16;   ///< saturation current [A] at tnom
   double n = 1.0;      ///< emission coefficient
   double cj0 = 0.0;    ///< zero-bias depletion capacitance [F]
   double vj = 0.75;    ///< junction potential [V]
   double m = 0.33;     ///< grading coefficient
   double fc = 0.5;     ///< forward-bias depletion-cap linearization point
   double tt = 0.0;     ///< transit time (diffusion charge) [s]
+  double eg = 1.12;    ///< bandgap for IS(T) scaling [eV]
+  double xti = 3.0;    ///< IS temperature exponent
+  double tnom = 300.15;  ///< parameter extraction temperature [K]
 };
+
+/// SPICE saturation-current temperature scaling — same law the BJT uses
+/// (devices/bjt.h), so characterization sweeps see consistent junction
+/// physics whichever device models a load.
+double SaturationCurrentAt(const DiodeParams& params, double temp_k);
 
 /// Terminals: {anode, cathode}.
 class Diode : public netlist::Device {

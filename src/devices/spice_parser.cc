@@ -183,6 +183,9 @@ class Parser {
       else if (key == "m") p.m = v;
       else if (key == "fc") p.fc = v;
       else if (key == "tt") p.tt = v;
+      else if (key == "eg") p.eg = v;
+      else if (key == "xti") p.xti = v;
+      else if (key == "tnom") p.tnom = v;
       else return Status::ParseError("unknown D param '" + key + "'");
     }
     return p;

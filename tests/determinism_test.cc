@@ -285,6 +285,33 @@ TEST(TelemetryDeterminism, ScreeningCountersAreThreadCountInvariant) {
   ExpectSameMetrics(serial, threaded);
 }
 
+TEST(MonteCarloDeterminism, TrialMajorDrawOrderMatchesManualSampling) {
+  // The pre-draw contract the characterization fingerprint relies on:
+  // SampleTrialTechnologies consumes the rng serially in trial-major
+  // order, so a manual nested loop of SampleTechnology reproduces every
+  // sampled technology bit-for-bit — including the conditional beta draw
+  // — and leaves the rng at exactly the same point.
+  cml::CmlTechnology nominal;
+  cml::VariationModel model;
+  model.beta_spread = 0.08;  // exercise the fourth (conditional) draw
+  util::Rng rng_a(0xC0A1u), rng_b(0xC0A1u);
+  const auto trials =
+      cml::SampleTrialTechnologies(nominal, model, 9, 4, rng_a);
+  ASSERT_EQ(trials.size(), 9u);
+  for (int t = 0; t < 9; ++t) {
+    ASSERT_EQ(trials[t].size(), 4u);
+    for (int g = 0; g < 4; ++g) {
+      const cml::CmlTechnology manual =
+          cml::SampleTechnology(nominal, model, rng_b);
+      EXPECT_EQ(trials[t][g].swing, manual.swing) << t << "," << g;
+      EXPECT_EQ(trials[t][g].wire_cap, manual.wire_cap) << t << "," << g;
+      EXPECT_EQ(trials[t][g].npn.is, manual.npn.is) << t << "," << g;
+      EXPECT_EQ(trials[t][g].npn.bf, manual.npn.bf) << t << "," << g;
+    }
+  }
+  EXPECT_EQ(rng_a.NextDouble(0.0, 1.0), rng_b.NextDouble(0.0, 1.0));
+}
+
 TEST(MonteCarloDeterminism, SweepIsThreadCountInvariant) {
   cml::CmlTechnology nominal;
   cml::VariationModel model;

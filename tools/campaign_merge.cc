@@ -12,8 +12,10 @@
 // The campaign kind is auto-detected from the stores' record types:
 // defect-screening stores merge into the coverage_comparison report,
 // pattern-coverage stores (campaign/pattern_campaign.h) into the
-// pattern_coverage report — the suite record inside a pattern store
-// carries its own sweep configuration, so --preset is screening-only.
+// pattern_coverage report, and characterization stores
+// (campaign/characterize_campaign.h) into the characterization report —
+// the suite record inside a pattern or characterization store carries its
+// own configuration, so --preset is screening-only.
 //
 //   --manifest         write the campaign manifest JSON (golden-checkable)
 //   --coverage-report  write the bench report derived from the merged
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "bench/paper_bench.h"
+#include "campaign/characterize_campaign.h"
 #include "campaign/manifest.h"
 #include "campaign/merge.h"
 #include "campaign/pattern_campaign.h"
@@ -82,6 +85,53 @@ int main(int argc, char** argv) {
   if (stores.empty()) {
     std::fprintf(stderr, "%s: no campaign stores given\n", argv[0]);
     return Usage(argv[0]);
+  }
+
+  auto is_characterization =
+      campaign::StoreIsCharacterizationCampaign(stores.front());
+  if (!is_characterization.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 is_characterization.status().ToString().c_str());
+    return 1;
+  }
+  if (*is_characterization) {
+    auto merged = campaign::MergeCharacterizationStores(stores);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("merged %zu store(s): %llu units, fingerprint %016llx\n",
+                stores.size(),
+                static_cast<unsigned long long>(merged->total_units),
+                static_cast<unsigned long long>(merged->fingerprint));
+    std::printf("  %llu corner(s) x %d die(s) per corner\n",
+                static_cast<unsigned long long>(
+                    merged->config.corner_count()),
+                merged->config.trials + 1);
+
+    if (!manifest_path.empty()) {
+      const report::Report manifest =
+          campaign::BuildCharacterizationCampaignManifest(*merged);
+      util::Status st =
+          report::WriteJsonFile(manifest_path, manifest.ToJson());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!coverage_path.empty()) {
+      report::Report rep(core::kCharacterizationExperiment,
+                         core::kCharacterizationPaperRef,
+                         core::kCharacterizationSummary);
+      core::FillCharacterizationReport(merged->config, merged->units, rep);
+      util::Status st = report::WriteJsonFile(coverage_path, rep.ToJson());
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   auto is_pattern = campaign::StoreIsPatternCampaign(stores.front());

@@ -14,8 +14,11 @@
 // --overwrite (discard it) says so. Screening presets:
 // coverage_comparison, quick. Presets with a "pattern_" prefix
 // (pattern_coverage, pattern_quick) run a toggle-coverage sweep over
-// sequential benchmarks instead (campaign/pattern_campaign.h) — same
-// store format, durability, and resume semantics, different payload.
+// sequential benchmarks instead (campaign/pattern_campaign.h), and
+// presets with a "characterization" prefix (characterization,
+// characterization_quick) run a corner/Monte-Carlo characterization
+// (campaign/characterize_campaign.h) — same store format, durability,
+// and resume semantics, different payloads.
 // --abort-after-bytes is the crash-injection hook used by tests and CI:
 // the process SIGKILLs itself mid-write once the store reaches that size.
 //
@@ -26,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/characterize_campaign.h"
 #include "campaign/pattern_campaign.h"
 #include "campaign/runner.h"
 #include "report/telemetry_json.h"
@@ -44,7 +48,7 @@ int Usage(const char* argv0) {
       "          [--batch K] [--telemetry <path.json>]\n"
       "          [--abort-after-bytes N]\n"
       "presets: coverage_comparison (default), quick, pattern_coverage, "
-      "pattern_quick\n",
+      "pattern_quick, characterization, characterization_quick\n",
       argv0);
   return 2;
 }
@@ -129,7 +133,21 @@ int main(int argc, char** argv) {
 
   util::StatusOr<campaign::CampaignRunStats> stats =
       util::Status::Internal("unreachable");
-  if (campaign::IsPatternPreset(preset)) {
+  if (campaign::IsCharacterizationPreset(preset)) {
+    campaign::CharacterizationCampaignOptions opt;
+    auto config = campaign::CharacterizationPreset(preset);
+    if (!config.ok()) {
+      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+      return 2;
+    }
+    opt.config = *config;
+    opt.shard = *shard;
+    opt.store_path = store_path;
+    opt.threads = threads;
+    opt.fsync_batch = fsync_batch;
+    opt.abort_at_bytes = abort_at_bytes;
+    stats = campaign::RunCharacterizationCampaign(opt);
+  } else if (campaign::IsPatternPreset(preset)) {
     campaign::PatternCampaignOptions opt;
     auto sweep = campaign::PatternSweepPreset(preset);
     if (!sweep.ok()) {
