@@ -5,55 +5,16 @@
 #
 #   ci/pattern_campaign_kill_resume.sh [build-dir]
 #
-# 1. Start shard 0/2 of the pattern_coverage campaign and SIGKILL it
-#    mid-record-write via the --abort-after-bytes crash injection (a real
-#    kill -9: the store is left with a torn tail).
-# 2. Resume shard 0 to completion; run shard 1 uninterrupted with a
-#    different (odd) thread count.
-# 3. Merge both stores into the pattern_coverage report and require it to
-#    match golden/pattern_coverage.json — and, when the monolithic bench
-#    binary is present, to be BYTE-IDENTICAL to its uninterrupted output.
+# Shape (ci/lib.sh, ci_kill_resume_drill): SIGKILL shard 0/2 of the
+# pattern_coverage campaign mid-record-write, resume it, run shard 1/2
+# uninterrupted, merge, and require the report to match
+# golden/pattern_coverage.json — and, when the monolithic bench binary is
+# present, to be BYTE-IDENTICAL to its uninterrupted output.
 set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+ci_init "${1:-build}"
 
-BUILD=${1:-build}
-RUN="$BUILD/tools/campaign_run"
-MERGE="$BUILD/tools/campaign_merge"
-CHECK="$BUILD/tools/golden_check"
-BENCH="$BUILD/bench/pattern_coverage"
-
-WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
-
-echo "== shard 0/2: forced kill -9 mid-write =="
-set +e
-"$RUN" --store "$WORK/p0.campaign" --preset pattern_coverage \
-       --shard 0/2 --abort-after-bytes 200
-rc=$?
-set -e
-if [ "$rc" -ne 137 ]; then
-  echo "FAIL: expected the crash injection to SIGKILL the shard (exit 137), got $rc" >&2
-  exit 1
-fi
-echo "shard killed as expected (exit 137, store at $(stat -c%s "$WORK/p0.campaign") bytes)"
-
-echo "== shard 0/2: resume to completion =="
-"$RUN" --store "$WORK/p0.campaign" --preset pattern_coverage \
-       --shard 0/2 --resume
-
-echo "== shard 1/2: uninterrupted, 7 worker threads =="
-"$RUN" --store "$WORK/p1.campaign" --preset pattern_coverage \
-       --shard 1/2 --threads 7
-
-echo "== merge and check against the golden snapshot =="
-"$MERGE" --coverage-report "$WORK/pattern.json" \
-         "$WORK/p0.campaign" "$WORK/p1.campaign"
-"$CHECK" "$WORK/pattern.json" golden/pattern_coverage.json
-
-if [ -x "$BENCH" ]; then
-  echo "== byte-identity against the uninterrupted monolithic bench =="
-  "$BENCH" --json "$WORK/monolithic.json" > /dev/null
-  cmp "$WORK/pattern.json" "$WORK/monolithic.json"
-  echo "merged campaign report is byte-identical to the monolithic run"
-fi
+ci_kill_resume_drill pattern_coverage 200 \
+    golden/pattern_coverage.json pattern_coverage
 
 echo "PASS: kill -9 / resume / merge reproduced the golden pattern-coverage report"

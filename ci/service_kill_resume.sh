@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Durability drill for the distributed campaign service (docs/campaign.md,
+# "Distributed service"), run by the campaign-durability CI job and
+# usable locally:
+#
+#   ci/service_kill_resume.sh [build-dir]
+#
+# All three payloads (screening quick, pattern_coverage, characterization)
+# are submitted to one scheduler and driven by workers while both failure
+# modes fire:
+#
+# 1. A victim worker is started alone and SIGKILLed the instant it
+#    receives its first lease (records unsent) — the scheduler must
+#    reclaim the lease and re-issue the chunk to the healthy workers.
+# 2. The scheduler SIGKILLs itself mid-record-append via
+#    --abort-after-bytes (store left with a torn tail) and is restarted
+#    on the same state dir — the durable queue must recover every
+#    campaign and resume without re-running completed units.
+#
+# Afterwards each campaign's store must merge to a report that passes the
+# committed golden AND is byte-identical to an uninterrupted monolithic
+# campaign_run of the same preset.
+set -euo pipefail
+. "$(dirname "$0")/lib.sh"
+ci_init "${1:-build}"
+
+STATE="$WORK/state"
+PORTS="$WORK/ports.json"
+
+echo "== monolithic references (uninterrupted campaign_run per preset) =="
+"$RUN" --store "$WORK/mono_q.campaign" --preset quick > /dev/null
+"$RUN" --store "$WORK/mono_p.campaign" --preset pattern_coverage > /dev/null
+"$RUN" --store "$WORK/mono_c.campaign" --preset characterization > /dev/null
+"$MERGE" --manifest "$WORK/mono_manifest.json" "$WORK/mono_q.campaign"
+"$MERGE" --coverage-report "$WORK/mono_pattern.json" "$WORK/mono_p.campaign"
+"$MERGE" --coverage-report "$WORK/mono_char.json" "$WORK/mono_c.campaign"
+
+echo "== scheduler #1: three campaigns, crash injection armed =="
+"$SCHEDULER" --state-dir "$STATE" --port-file "$PORTS" \
+    --lease-seconds 5 --chunk-units 8 \
+    --submit quick --submit pattern_coverage --submit characterization \
+    --abort-after-bytes 2000 &
+SCHED_PID=$!
+
+echo "== victim worker: SIGKILLed on its first grant, records unsent =="
+set +e
+"$WORKER" --port-file "$PORTS" --name victim --abort-on-grant 1 \
+    --give-up-ms 60000
+rc=$?
+set -e
+if [ "$rc" -ne 137 ]; then
+  echo "FAIL: expected the victim worker to die by SIGKILL (137), got $rc" >&2
+  exit 1
+fi
+echo "victim died holding its lease, as intended"
+
+echo "== two healthy workers take over =="
+"$WORKER" --port-file "$PORTS" --name w1 --threads 3 --exit-when-idle \
+    --give-up-ms 120000 &
+W1_PID=$!
+"$WORKER" --port-file "$PORTS" --name w2 --threads 5 --exit-when-idle \
+    --give-up-ms 120000 &
+W2_PID=$!
+
+echo "== waiting for the scheduler's mid-append SIGKILL =="
+set +e
+wait "$SCHED_PID"
+rc=$?
+set -e
+if [ "$rc" -ne 137 ]; then
+  echo "FAIL: expected the scheduler crash injection to SIGKILL it (137), got $rc" >&2
+  exit 1
+fi
+echo "scheduler killed mid-append (exit 137); workers are now retrying"
+
+echo "== scheduler #2: restart on the durable queue, run to completion =="
+"$SCHEDULER" --state-dir "$STATE" --port-file "$PORTS" \
+    --lease-seconds 5 --chunk-units 8 --idle-exit \
+    --telemetry "$WORK/service_telemetry.json" &
+SCHED_PID=$!
+
+wait "$W1_PID"
+wait "$W2_PID"
+wait "$SCHED_PID"
+echo "scheduler idle-exited; both workers saw the queue drain"
+
+echo "== merge each campaign store, golden_check, byte-compare =="
+"$MERGE" --manifest "$WORK/svc_manifest.json" "$STATE/campaign_1.campaign"
+"$CHECK" "$WORK/svc_manifest.json" golden/campaign_manifest.json
+cmp "$WORK/svc_manifest.json" "$WORK/mono_manifest.json"
+
+"$MERGE" --coverage-report "$WORK/svc_pattern.json" "$STATE/campaign_2.campaign"
+"$CHECK" "$WORK/svc_pattern.json" golden/pattern_coverage.json
+cmp "$WORK/svc_pattern.json" "$WORK/mono_pattern.json"
+
+"$MERGE" --coverage-report "$WORK/svc_char.json" "$STATE/campaign_3.campaign"
+"$CHECK" "$WORK/svc_char.json" golden/characterization.json
+cmp "$WORK/svc_char.json" "$WORK/mono_char.json"
+
+echo "PASS: worker kill + scheduler kill/restart; all three payloads merged byte-identical to monolithic runs"

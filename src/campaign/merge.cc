@@ -2,8 +2,11 @@
 
 #include <optional>
 
+#include "campaign/characterize_campaign.h"
 #include "campaign/codec.h"
+#include "campaign/pattern_campaign.h"
 #include "campaign/store.h"
+#include "util/hash.h"
 #include "util/telemetry.h"
 
 namespace cmldft::campaign {
@@ -122,6 +125,177 @@ util::StatusOr<MergeResult> MergeCampaignStores(
     out.report.outcomes.push_back(std::move(*outcomes[id]));
   }
   return out;
+}
+
+// ------------------------------------------------ streaming merge --
+
+namespace {
+
+uint64_t PayloadHash(std::string_view payload) {
+  return util::ContentHasher().Str(payload).Digest();
+}
+
+bool IsSingletonType(RecordType t) {
+  return t == RecordType::kReference || t == RecordType::kPatternSuite ||
+         t == RecordType::kCharacterizationSuite;
+}
+
+}  // namespace
+
+StreamingMerge::StreamingMerge(uint64_t total_units)
+    : total_units_(total_units),
+      seen_(total_units, 0),
+      unit_hash_(total_units, 0) {}
+
+util::StatusOr<bool> StreamingMerge::FoldSingleton(RecordType type,
+                                                   std::string_view payload) {
+  for (const auto& [t, bytes] : singletons_) {
+    if (t != type) continue;
+    if (bytes != payload) {
+      return util::Status::FailedPrecondition(
+          "singleton record (reference/suite) differs from the one already "
+          "folded: the contributing workers do not run the same engine and "
+          "configuration");
+    }
+    return false;  // bit-identical repeat
+  }
+  singletons_.emplace_back(type, std::string(payload));
+  return true;
+}
+
+util::StatusOr<StreamingMerge::FoldResult> StreamingMerge::Fold(
+    std::string_view payload) {
+  if (payload.empty()) {
+    return util::Status::ParseError("empty record payload");
+  }
+  const auto type = static_cast<RecordType>(
+      static_cast<uint8_t>(payload[0]));
+
+  Kind kind;
+  switch (type) {
+    case RecordType::kReference:
+    case RecordType::kOutcome:
+      kind = Kind::kScreening;
+      break;
+    case RecordType::kPatternSuite:
+    case RecordType::kPatternUnit:
+      kind = Kind::kPattern;
+      break;
+    case RecordType::kCharacterizationSuite:
+    case RecordType::kCharacterizationUnit:
+      kind = Kind::kCharacterization;
+      break;
+    default:
+      return util::Status::ParseError(
+          "unknown campaign record type " +
+          std::to_string(static_cast<uint8_t>(payload[0])));
+  }
+  if (kind_ == Kind::kUnknown) {
+    kind_ = kind;
+  } else if (kind != kind_) {
+    return util::Status::FailedPrecondition(
+        "record belongs to a different campaign payload kind than the one "
+        "already folded — screening, pattern, and characterization records "
+        "cannot mix in one campaign");
+  }
+
+  FoldResult result;
+  if (IsSingletonType(type)) {
+    auto first = FoldSingleton(type, payload);
+    if (!first.ok()) return first.status();
+    result.new_singleton = *first;
+    result.duplicate = !*first;
+    return result;
+  }
+
+  // Unit records: decode (validates the payload), dedup by id, tally.
+  uint64_t unit_id = 0;
+  switch (kind_) {
+    case Kind::kScreening: {
+      auto rec = DecodeRecord(payload);
+      if (!rec.ok()) return rec.status();
+      unit_id = rec->unit_id;
+      if (unit_id >= total_units_) break;
+      if (!seen_[unit_id]) {
+        ++class_counts_[static_cast<int>(rec->outcome.Classify())];
+      }
+      break;
+    }
+    case Kind::kPattern: {
+      auto rec = DecodePatternRecord(payload);
+      if (!rec.ok()) return rec.status();
+      unit_id = rec->unit_id;
+      if (unit_id >= total_units_) break;
+      if (!seen_[unit_id]) {
+        toggled_ += rec->unit.toggled;
+        togglable_ += rec->unit.togglable;
+      }
+      break;
+    }
+    case Kind::kCharacterization: {
+      auto rec = DecodeCharacterizationRecord(payload);
+      if (!rec.ok()) return rec.status();
+      unit_id = rec->unit_id;
+      if (unit_id >= total_units_) break;
+      if (!seen_[unit_id] && rec->unit.measure_failures == 0) {
+        ++clean_units_;
+      }
+      break;
+    }
+    case Kind::kUnknown:
+      return util::Status::Internal("unreachable: unlatched payload kind");
+  }
+  if (unit_id >= total_units_) {
+    return util::Status::FailedPrecondition(
+        "record for unit " + std::to_string(unit_id) +
+        " outside the universe of " + std::to_string(total_units_));
+  }
+
+  result.unit_id = unit_id;
+  const uint64_t hash = PayloadHash(payload);
+  if (seen_[unit_id]) {
+    if (unit_hash_[unit_id] != hash) {
+      return util::Status::FailedPrecondition(
+          "unit " + std::to_string(unit_id) +
+          " delivered twice with different bytes — the contributing workers "
+          "do not run the same engine and configuration");
+    }
+    result.duplicate = true;
+    return result;
+  }
+  seen_[unit_id] = 1;
+  unit_hash_[unit_id] = hash;
+  ++units_done_;
+  result.new_unit = true;
+  return result;
+}
+
+double StreamingMerge::LiveCoverage() const {
+  switch (kind_) {
+    case Kind::kScreening: {
+      if (units_done_ == 0) return 0.0;
+      // The CombinedCoverage formula over the outcomes folded so far: at
+      // completion the denominator is the full universe and the value is
+      // exactly the merged report's CombinedCoverage.
+      const uint64_t detected =
+          class_counts_[static_cast<int>(core::FaultClass::kLogicVisible)] +
+          class_counts_[static_cast<int>(core::FaultClass::kDelayVisible)] +
+          class_counts_[static_cast<int>(core::FaultClass::kIddqVisible)] +
+          class_counts_[static_cast<int>(core::FaultClass::kCatastrophic)] +
+          class_counts_[static_cast<int>(core::FaultClass::kAmplitudeOnly)];
+      return static_cast<double>(detected) / static_cast<double>(units_done_);
+    }
+    case Kind::kPattern:
+      if (togglable_ == 0) return 0.0;
+      return static_cast<double>(toggled_) / static_cast<double>(togglable_);
+    case Kind::kCharacterization:
+      if (units_done_ == 0) return 0.0;
+      return static_cast<double>(clean_units_) /
+             static_cast<double>(units_done_);
+    case Kind::kUnknown:
+      return 0.0;
+  }
+  return 0.0;
 }
 
 }  // namespace cmldft::campaign

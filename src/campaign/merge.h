@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "campaign/codec.h"
 #include "core/screening.h"
 #include "util/status.h"
 
@@ -35,5 +37,77 @@ struct MergeResult {
 /// every unit id exactly once.
 util::StatusOr<MergeResult> MergeCampaignStores(
     const std::vector<std::string>& paths);
+
+/// Streaming incremental merge: fold record payloads one at a time, in any
+/// order, as they arrive from workers — without waiting for campaign
+/// completion. The campaign service feeds it every record it appends to
+/// the store (and every record already there on restart) and reads a live
+/// coverage estimate off it for the status API.
+///
+/// Idempotent by construction: a unit record delivered twice (a reclaimed
+/// lease whose original worker also finished, a re-sent batch) is accepted
+/// when bit-identical to the first delivery and refused otherwise — the
+/// first record wins, the duplicate is only cross-checked, and
+/// `units_done` never double-counts. Singleton records (the screening
+/// reference, the pattern/characterization suite) get the same treatment,
+/// which is exactly the PR 4 drift guard extended across hosts: two
+/// workers running different engine builds cannot contribute to one
+/// campaign.
+///
+/// All three payloads fold through the one class; the payload kind is
+/// latched from the first record and later records of a different payload
+/// are refused. `LiveCoverage` is the payload's headline ratio over the
+/// units folded so far (screening: combined fault coverage; pattern:
+/// toggle coverage; characterization: fraction of corner x die units with
+/// every measurement clean). At completion it equals the value the final
+/// merged report derives from the same records.
+class StreamingMerge {
+ public:
+  explicit StreamingMerge(uint64_t total_units);
+
+  struct FoldResult {
+    /// A unit not seen before was folded in.
+    bool new_unit = false;
+    /// First delivery of a singleton record (reference/suite) type.
+    bool new_singleton = false;
+    /// Bit-identical re-delivery of an already-folded record; ignored.
+    bool duplicate = false;
+    /// Set for unit records (valid when new_unit or duplicate).
+    uint64_t unit_id = 0;
+  };
+
+  /// Fold one record payload (store framing already stripped). Refuses a
+  /// foreign payload kind, an out-of-universe unit id, and any duplicate
+  /// that is not bit-identical to the first delivery.
+  util::StatusOr<FoldResult> Fold(std::string_view payload);
+
+  uint64_t total_units() const { return total_units_; }
+  uint64_t units_done() const { return units_done_; }
+  bool complete() const { return units_done_ == total_units_; }
+  bool UnitDone(uint64_t id) const { return seen_[id] != 0; }
+
+  /// Payload headline ratio over the units folded so far (0 when none).
+  double LiveCoverage() const;
+
+ private:
+  enum class Kind { kUnknown, kScreening, kPattern, kCharacterization };
+
+  util::StatusOr<bool> FoldSingleton(RecordType type,
+                                     std::string_view payload);
+
+  uint64_t total_units_;
+  uint64_t units_done_ = 0;
+  Kind kind_ = Kind::kUnknown;
+  /// Per-unit: 0 = unseen, 1 = seen (hash in unit_hash_).
+  std::vector<uint8_t> seen_;
+  std::vector<uint64_t> unit_hash_;
+  /// First-delivery bytes of each singleton record type, keyed by type.
+  std::vector<std::pair<RecordType, std::string>> singletons_;
+  // Live tallies, payload-specific (only the latched kind's are used).
+  uint64_t class_counts_[core::kNumFaultClasses] = {};
+  uint64_t toggled_ = 0;
+  uint64_t togglable_ = 0;
+  uint64_t clean_units_ = 0;
+};
 
 }  // namespace cmldft::campaign

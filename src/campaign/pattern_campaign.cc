@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/bytes.h"
+#include "campaign/progress.h"
 #include "campaign/store.h"
 #include "util/parallel.h"
 #include "util/telemetry.h"
@@ -256,6 +257,8 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
   // Units evaluate in parallel; the store append is the serialization
   // point. Record order in the file follows completion order, which merge
   // does not care about — every unit record carries its universe id.
+  ProgressMeter meter(options.progress, stats.shard_units,
+                      stats.resumed_skips);
   std::mutex mu;
   util::Status first_error = util::Status::Ok();
   util::ParallelFor(
@@ -279,10 +282,12 @@ util::StatusOr<CampaignRunStats> RunPatternCampaign(
           return;
         }
         Metrics().records_written.Increment();
+        meter.Tick();
       },
       options.threads);
   CMLDFT_RETURN_IF_ERROR(first_error);
   CMLDFT_RETURN_IF_ERROR(writer->Close());
+  meter.Finish();
   return stats;
 }
 

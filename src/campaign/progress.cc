@@ -1,0 +1,55 @@
+#include "campaign/progress.h"
+
+#include <cstdio>
+
+#include "util/clock.h"
+
+namespace cmldft::campaign {
+
+ProgressMeter::ProgressMeter(bool enabled, uint64_t total, uint64_t done,
+                             double interval_seconds)
+    : enabled_(enabled),
+      total_(total),
+      done_(done),
+      initial_done_(done),
+      interval_(interval_seconds),
+      start_(util::MonotonicSeconds()),
+      last_print_(start_) {}
+
+void ProgressMeter::Tick() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const double now = util::MonotonicSeconds();
+  if (done_ < total_ && now - last_print_ < interval_) return;
+  last_print_ = now;
+  PrintLocked();
+}
+
+void ProgressMeter::Finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_printed_done_ == done_) return;
+  PrintLocked();
+}
+
+void ProgressMeter::PrintLocked() {
+  last_printed_done_ = done_;
+  const double elapsed = util::MonotonicSeconds() - start_;
+  const uint64_t fresh = done_ - initial_done_;
+  const double pct = total_ == 0 ? 100.0 : 100.0 * done_ / total_;
+  if (fresh == 0 || elapsed <= 0) {
+    std::fprintf(stderr, "[campaign] %llu/%llu units (%.1f%%)\n",
+                 static_cast<unsigned long long>(done_),
+                 static_cast<unsigned long long>(total_), pct);
+    return;
+  }
+  const double rate = fresh / elapsed;
+  const double eta = rate > 0 ? (total_ - done_) / rate : 0;
+  std::fprintf(stderr,
+               "[campaign] %llu/%llu units (%.1f%%), %.2f units/s, ETA %.0fs\n",
+               static_cast<unsigned long long>(done_),
+               static_cast<unsigned long long>(total_), pct, rate, eta);
+}
+
+}  // namespace cmldft::campaign

@@ -1,0 +1,53 @@
+// Periodic progress reporting for long campaign shards (campaign_run
+// --progress).
+//
+// One meter per run, ticked once per completed unit from worker threads.
+// Output is a plain stderr line at most once per interval —
+//
+//   [campaign] 128/1540 units (8.3%), 4.2 units/s, ETA 336s
+//
+// — nothing fancier, so it stays readable through `tee`, CI logs, and
+// multi-process drills. The ETA extrapolates from the units completed by
+// *this* run (resumed units are excluded: they cost nothing now and would
+// otherwise make a resumed shard look absurdly fast). Rates come off the
+// monotonic clock and are inherently nondeterministic; the meter writes
+// only to stderr and never into stores or reports, keeping determinism
+// contracts untouched.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cmldft::campaign {
+
+class ProgressMeter {
+ public:
+  /// `total` is the unit count this shard will have when done, `done` how
+  /// many of those already exist (resume). Disabled meters make Tick a
+  /// no-op. `interval_seconds` rate-limits output (0 prints every tick —
+  /// tests only).
+  ProgressMeter(bool enabled, uint64_t total, uint64_t done,
+                double interval_seconds = 1.0);
+
+  /// One more unit finished. Thread-safe.
+  void Tick();
+
+  /// Unconditional final line (call once, after the last unit).
+  void Finish();
+
+ private:
+  void PrintLocked();
+
+  std::mutex mu_;
+  bool enabled_;
+  uint64_t total_;
+  uint64_t done_;
+  uint64_t initial_done_;
+  double interval_;
+  double start_;
+  double last_print_;
+  uint64_t last_printed_done_ = ~0ULL;
+};
+
+}  // namespace cmldft::campaign

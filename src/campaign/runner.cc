@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/codec.h"
+#include "campaign/progress.h"
 #include "campaign/store.h"
 #include "campaign/work.h"
 #include "util/telemetry.h"
@@ -66,9 +67,11 @@ class ShardResumeSource : public WorkSource {
 /// Serializes worker emits into CRC-framed store appends.
 class StoreSink : public Sink {
  public:
-  StoreSink(StoreWriter writer, std::optional<std::string> existing_reference)
+  StoreSink(StoreWriter writer, std::optional<std::string> existing_reference,
+            ProgressMeter* meter)
       : writer_(std::move(writer)),
-        existing_reference_(std::move(existing_reference)) {}
+        existing_reference_(std::move(existing_reference)),
+        meter_(meter) {}
 
   util::Status EmitReference(const core::ScreeningReport& reference) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -96,6 +99,7 @@ class StoreSink : public Sink {
     std::lock_guard<std::mutex> lock(mu_);
     CMLDFT_RETURN_IF_ERROR(writer_.AppendRecord(encoded));
     Metrics().records_written.Increment();
+    if (meter_ != nullptr) meter_->Tick();
     return util::Status::Ok();
   }
 
@@ -110,6 +114,7 @@ class StoreSink : public Sink {
   std::mutex mu_;
   StoreWriter writer_;
   std::optional<std::string> existing_reference_;
+  ProgressMeter* meter_;
 };
 
 }  // namespace
@@ -195,12 +200,15 @@ util::StatusOr<CampaignRunStats> RunScreeningCampaign(
 
   ShardResumeSource source(options.shard, std::move(completed),
                            universe.size());
-  StoreSink sink(std::move(*writer), std::move(existing_reference));
+  ProgressMeter meter(options.progress, stats.shard_units,
+                      stats.resumed_skips);
+  StoreSink sink(std::move(*writer), std::move(existing_reference), &meter);
   if (options.abort_at_bytes != 0) sink.SetKillAtSize(options.abort_at_bytes);
 
   auto report = core::ScreenBufferChain(options.screening, &source, &sink);
   if (!report.ok()) return report.status();
   CMLDFT_RETURN_IF_ERROR(sink.Close());
+  meter.Finish();
   return stats;
 }
 

@@ -37,6 +37,9 @@ struct CampaignOptions {
   /// Crash injection for tests/CI: SIGKILL this process the moment the
   /// store would exceed this many bytes (0 = off). See util::AppendFile.
   uint64_t abort_at_bytes = 0;
+  /// Print a rate-limited units-done/ETA line to stderr (campaign_run
+  /// --progress). Never affects stores or reports.
+  bool progress = false;
 };
 
 struct CampaignRunStats {

@@ -1,0 +1,197 @@
+#include "service/payload.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "campaign/characterize_campaign.h"
+#include "campaign/codec.h"
+#include "campaign/pattern_campaign.h"
+#include "campaign/runner.h"
+#include "campaign/work.h"
+#include "core/screening.h"
+#include "util/parallel.h"
+
+namespace cmldft::service {
+
+std::string_view PayloadKindName(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kScreening: return "screening";
+    case PayloadKind::kPattern: return "pattern";
+    case PayloadKind::kCharacterization: return "characterization";
+  }
+  return "unknown";
+}
+
+util::StatusOr<PayloadPlan> PlanForPreset(std::string_view preset) {
+  PayloadPlan plan;
+  plan.preset = std::string(preset);
+  if (campaign::IsCharacterizationPreset(preset)) {
+    auto config = campaign::CharacterizationPreset(preset);
+    if (!config.ok()) return config.status();
+    plan.kind = PayloadKind::kCharacterization;
+    plan.total_units = config->unit_count();
+    plan.fingerprint = core::CharacterizationFingerprint(*config);
+    plan.suite_record = campaign::EncodeCharacterizationSuiteRecord(*config);
+    return plan;
+  }
+  if (campaign::IsPatternPreset(preset)) {
+    auto sweep = campaign::PatternSweepPreset(preset);
+    if (!sweep.ok()) return sweep.status();
+    plan.kind = PayloadKind::kPattern;
+    plan.total_units = sweep->unit_count();
+    plan.fingerprint = testgen::SweepFingerprint(*sweep);
+    plan.suite_record = campaign::EncodePatternSuiteRecord(*sweep);
+    return plan;
+  }
+  auto screening = campaign::ScreeningPreset(preset);
+  if (!screening.ok()) return screening.status();
+  plan.kind = PayloadKind::kScreening;
+  const std::vector<defects::Defect> universe =
+      core::ScreeningUniverse(*screening);
+  plan.total_units = universe.size();
+  plan.fingerprint = campaign::CampaignFingerprint(*screening, universe);
+  return plan;
+}
+
+namespace {
+
+/// Restricts ScreenBufferChain to the leased unit ids.
+class ChunkSource : public campaign::WorkSource {
+ public:
+  ChunkSource(std::vector<uint64_t> ids, uint64_t expected_units)
+      : ids_(std::move(ids)), expected_units_(expected_units) {}
+
+  util::Status BeginUniverse(uint64_t total_units) override {
+    if (total_units != expected_units_) {
+      return util::Status::FailedPrecondition(
+          "universe size changed between planning and execution: planned " +
+          std::to_string(expected_units_) + ", enumerated " +
+          std::to_string(total_units));
+    }
+    return util::Status::Ok();
+  }
+
+  bool ShouldRun(uint64_t id) const override {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+ private:
+  std::vector<uint64_t> ids_;  ///< ascending (lease grants are sorted)
+  uint64_t expected_units_;
+};
+
+/// Collects encoded records in memory; the worker streams them back in
+/// one batch instead of writing any file.
+class CollectSink : public campaign::Sink {
+ public:
+  util::Status EmitReference(const core::ScreeningReport& reference) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    reference_ = campaign::EncodeReferenceRecord(reference);
+    return util::Status::Ok();
+  }
+
+  util::Status Emit(uint64_t id, const core::DefectOutcome& outcome) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    outcomes_.push_back(campaign::EncodeOutcomeRecord(id, outcome));
+    return util::Status::Ok();
+  }
+
+  std::vector<std::string> TakeRecords() {
+    std::vector<std::string> records;
+    records.reserve(outcomes_.size() + 1);
+    records.push_back(std::move(reference_));
+    for (std::string& o : outcomes_) records.push_back(std::move(o));
+    return records;
+  }
+
+ private:
+  std::mutex mu_;
+  std::string reference_;
+  std::vector<std::string> outcomes_;
+};
+
+util::StatusOr<std::vector<std::string>> EvaluateScreeningChunk(
+    const PayloadPlan& plan, std::vector<uint64_t> unit_ids, int threads) {
+  auto options = campaign::ScreeningPreset(plan.preset);
+  if (!options.ok()) return options.status();
+  options->threads = threads;
+  ChunkSource source(std::move(unit_ids), plan.total_units);
+  CollectSink sink;
+  auto report = core::ScreenBufferChain(*options, &source, &sink);
+  if (!report.ok()) return report.status();
+  return sink.TakeRecords();
+}
+
+/// Shared shape of the two one-function-per-unit payloads.
+template <typename EvalFn>
+util::StatusOr<std::vector<std::string>> EvaluateUnitwise(
+    const PayloadPlan& plan, const std::vector<uint64_t>& unit_ids,
+    int threads, EvalFn eval) {
+  std::vector<std::string> records(unit_ids.size() + 1);
+  records[0] = plan.suite_record;
+  std::mutex mu;
+  util::Status first_error = util::Status::Ok();
+  util::ParallelFor(
+      unit_ids.size(),
+      [&](size_t i) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!first_error.ok()) return;
+        }
+        auto encoded = eval(unit_ids[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error.ok()) return;
+        if (!encoded.ok()) {
+          first_error = encoded.status();
+          return;
+        }
+        records[i + 1] = std::move(*encoded);
+      },
+      threads);
+  CMLDFT_RETURN_IF_ERROR(first_error);
+  return records;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<std::string>> EvaluateChunk(
+    const PayloadPlan& plan, const std::vector<uint64_t>& unit_ids,
+    int threads) {
+  for (uint64_t id : unit_ids) {
+    if (id >= plan.total_units) {
+      return util::Status::OutOfRange(
+          "leased unit " + std::to_string(id) + " outside the universe of " +
+          std::to_string(plan.total_units));
+    }
+  }
+  switch (plan.kind) {
+    case PayloadKind::kScreening:
+      return EvaluateScreeningChunk(plan, unit_ids, threads);
+    case PayloadKind::kPattern: {
+      auto sweep = campaign::PatternSweepPreset(plan.preset);
+      if (!sweep.ok()) return sweep.status();
+      return EvaluateUnitwise(
+          plan, unit_ids, threads,
+          [&sweep](uint64_t id) -> util::StatusOr<std::string> {
+            auto unit = testgen::EvaluateSweepUnit(*sweep, id);
+            if (!unit.ok()) return unit.status();
+            return campaign::EncodePatternUnitRecord(id, *unit);
+          });
+    }
+    case PayloadKind::kCharacterization: {
+      auto config = campaign::CharacterizationPreset(plan.preset);
+      if (!config.ok()) return config.status();
+      return EvaluateUnitwise(
+          plan, unit_ids, threads,
+          [&config](uint64_t id) -> util::StatusOr<std::string> {
+            auto unit = core::EvaluateCharacterizationUnit(*config, id);
+            if (!unit.ok()) return unit.status();
+            return campaign::EncodeCharacterizationUnitRecord(id, *unit);
+          });
+    }
+  }
+  return util::Status::Internal("unreachable payload kind");
+}
+
+}  // namespace cmldft::service

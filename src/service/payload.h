@@ -1,0 +1,56 @@
+// One seam over the three campaign payloads for the distributed service.
+//
+// The scheduler and the worker both resolve a campaign's preset name
+// through PlanForPreset: the scheduler to size the unit universe, create
+// the store header, and (for suite-record payloads) write the suite
+// record; the worker to rebuild the exact same configuration and verify
+// the grant's fingerprint before simulating anything — a worker built
+// from drifted sources refuses the lease instead of contributing records
+// the streaming merge would reject.
+//
+// EvaluateChunk is the worker's whole compute path: run the leased unit
+// ids and return the encoded store record payloads to stream back. The
+// batch leads with the payload's singleton record (the fault-free
+// screening reference, or the pattern/characterization suite) so every
+// chunk delivery re-asserts the cross-host drift guard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cmldft::service {
+
+enum class PayloadKind : uint8_t { kScreening, kPattern, kCharacterization };
+
+std::string_view PayloadKindName(PayloadKind kind);
+
+struct PayloadPlan {
+  PayloadKind kind = PayloadKind::kScreening;
+  std::string preset;
+  uint64_t total_units = 0;
+  /// Universe/config digest; store headers and lease grants carry it.
+  uint64_t fingerprint = 0;
+  /// Suite record to seed the store with (empty for screening, whose
+  /// singleton — the reference — must be simulated by a worker).
+  std::string suite_record;
+};
+
+/// Resolve a preset name ("quick", "coverage_comparison", "pattern_*",
+/// "characterization*") into its service plan. Enumeration only — no
+/// simulation.
+util::StatusOr<PayloadPlan> PlanForPreset(std::string_view preset);
+
+/// Evaluate `unit_ids` of the plan's universe with `threads` workers and
+/// return the encoded store records: the singleton record first, then one
+/// record per unit (order beyond that is unspecified; every record
+/// carries its unit id). Pure per unit — bit-identical to the same units
+/// in a monolithic run.
+util::StatusOr<std::vector<std::string>> EvaluateChunk(
+    const PayloadPlan& plan, const std::vector<uint64_t>& unit_ids,
+    int threads);
+
+}  // namespace cmldft::service

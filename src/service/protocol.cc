@@ -1,0 +1,197 @@
+#include "service/protocol.h"
+
+#include "campaign/bytes.h"
+#include "util/crc32.h"
+#include "util/net.h"
+
+namespace cmldft::service {
+
+using campaign::ByteReader;
+using campaign::ByteWriter;
+
+std::string EncodeMessage(const Message& msg) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(msg.type));
+  switch (msg.type) {
+    case MessageType::kHello:
+      w.U32(msg.protocol_version);
+      w.Str(msg.worker);
+      break;
+    case MessageType::kHelloAck:
+      w.U32(msg.protocol_version);
+      break;
+    case MessageType::kWorkRequest:
+    case MessageType::kIdle:
+      break;
+    case MessageType::kGrant:
+      w.U64(msg.campaign_id);
+      w.U64(msg.lease_id);
+      w.Str(msg.preset);
+      w.U64(msg.fingerprint);
+      w.F64(msg.lease_seconds);
+      w.U32(static_cast<uint32_t>(msg.unit_ids.size()));
+      for (uint64_t id : msg.unit_ids) w.U64(id);
+      break;
+    case MessageType::kWait:
+      w.U32(msg.retry_ms);
+      break;
+    case MessageType::kRecords:
+      w.U64(msg.campaign_id);
+      w.U64(msg.lease_id);
+      w.U32(static_cast<uint32_t>(msg.records.size()));
+      for (const std::string& r : msg.records) w.Str(r);
+      break;
+    case MessageType::kAck:
+      w.U64(msg.campaign_id);
+      w.Bool(msg.accepted);
+      w.Bool(msg.campaign_complete);
+      w.Str(msg.error);
+      break;
+  }
+  return w.Take();
+}
+
+util::StatusOr<Message> DecodeMessage(std::string_view payload) {
+  ByteReader r(payload);
+  Message msg;
+  const uint8_t type = r.U8();
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kHello:
+      msg.type = MessageType::kHello;
+      msg.protocol_version = r.U32();
+      msg.worker = r.Str();
+      break;
+    case MessageType::kHelloAck:
+      msg.type = MessageType::kHelloAck;
+      msg.protocol_version = r.U32();
+      break;
+    case MessageType::kWorkRequest:
+      msg.type = MessageType::kWorkRequest;
+      break;
+    case MessageType::kIdle:
+      msg.type = MessageType::kIdle;
+      break;
+    case MessageType::kGrant: {
+      msg.type = MessageType::kGrant;
+      msg.campaign_id = r.U64();
+      msg.lease_id = r.U64();
+      msg.preset = r.Str();
+      msg.fingerprint = r.U64();
+      msg.lease_seconds = r.F64();
+      const uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) msg.unit_ids.push_back(r.U64());
+      break;
+    }
+    case MessageType::kWait:
+      msg.type = MessageType::kWait;
+      msg.retry_ms = r.U32();
+      break;
+    case MessageType::kRecords: {
+      msg.type = MessageType::kRecords;
+      msg.campaign_id = r.U64();
+      msg.lease_id = r.U64();
+      const uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) msg.records.push_back(r.Str());
+      break;
+    }
+    case MessageType::kAck:
+      msg.type = MessageType::kAck;
+      msg.campaign_id = r.U64();
+      msg.accepted = r.Bool();
+      msg.campaign_complete = r.Bool();
+      msg.error = r.Str();
+      break;
+    default:
+      return util::Status::ParseError("unknown service message type " +
+                                      std::to_string(type));
+  }
+  if (!r.ok()) {
+    return util::Status::ParseError("truncated service message payload");
+  }
+  if (!r.AtEnd()) {
+    return util::Status::ParseError("trailing bytes in service message");
+  }
+  return msg;
+}
+
+// ------------------------------------------------------- framing --
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string Frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, util::Crc32(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+util::StatusOr<bool> ExtractFrame(std::string& buffer, std::string* payload) {
+  if (buffer.size() < 8) return false;
+  const uint32_t len = GetU32(buffer.data());
+  const uint32_t crc = GetU32(buffer.data() + 4);
+  if (len > kMaxFrameBytes) {
+    return util::Status::ParseError(
+        "frame declares " + std::to_string(len) +
+        " bytes, over the protocol bound — corrupt stream");
+  }
+  if (buffer.size() < 8 + static_cast<size_t>(len)) return false;
+  if (util::Crc32(buffer.data() + 8, len) != crc) {
+    return util::Status::ParseError("frame payload fails its CRC");
+  }
+  payload->assign(buffer.data() + 8, len);
+  buffer.erase(0, 8 + static_cast<size_t>(len));
+  return true;
+}
+
+util::StatusOr<std::string> ReadFrameBlocking(int fd) {
+  char head[8];
+  CMLDFT_RETURN_IF_ERROR(util::ReadAll(fd, head, sizeof head));
+  const uint32_t len = GetU32(head);
+  const uint32_t crc = GetU32(head + 4);
+  if (len > kMaxFrameBytes) {
+    return util::Status::ParseError(
+        "frame declares " + std::to_string(len) +
+        " bytes, over the protocol bound — corrupt stream");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    CMLDFT_RETURN_IF_ERROR(util::ReadAll(fd, payload.data(), len));
+  }
+  if (util::Crc32(payload.data(), payload.size()) != crc) {
+    return util::Status::ParseError("frame payload fails its CRC");
+  }
+  return payload;
+}
+
+util::Status WriteFrameBlocking(int fd, std::string_view payload) {
+  const std::string framed = Frame(payload);
+  return util::WriteAll(fd, framed.data(), framed.size());
+}
+
+util::Status SendMessageBlocking(int fd, const Message& msg) {
+  return WriteFrameBlocking(fd, EncodeMessage(msg));
+}
+
+util::StatusOr<Message> ReceiveMessageBlocking(int fd) {
+  auto payload = ReadFrameBlocking(fd);
+  if (!payload.ok()) return payload.status();
+  return DecodeMessage(*payload);
+}
+
+}  // namespace cmldft::service

@@ -1,0 +1,13 @@
+#include "util/clock.h"
+
+#include <ctime>
+
+namespace cmldft::util {
+
+double MonotonicSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace cmldft::util

@@ -1,0 +1,16 @@
+// Monotonic time for lease deadlines and progress ETAs.
+//
+// Lease expiry must not move when the wall clock is stepped (NTP, manual
+// date changes), so the service layer keys every deadline off
+// CLOCK_MONOTONIC and only ever compares monotonic values with each other.
+// Values are seconds since an arbitrary epoch — meaningful only as
+// differences within one process.
+#pragma once
+
+namespace cmldft::util {
+
+/// Seconds on the monotonic clock. Never decreases; unaffected by wall
+/// clock adjustments. Only differences between two calls are meaningful.
+double MonotonicSeconds();
+
+}  // namespace cmldft::util

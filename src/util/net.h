@@ -1,0 +1,59 @@
+// Status-based TCP sockets for the campaign service (loopback by default).
+//
+// Deliberately thin: fd-level listen/connect/accept plus exact-length
+// blocking reads and writes. The scheduler's poll loop owns non-blocking
+// behavior itself (service/scheduler.cc); workers and tests use the
+// blocking helpers. No framing here — that is service/protocol.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cmldft::util {
+
+/// A listening TCP socket bound to 127.0.0.1. Port 0 asks the kernel for
+/// an ephemeral port; `port()` reports the one actually bound, which is
+/// how the scheduler's --port-file lets scripts discover its endpoints.
+class TcpListener {
+ public:
+  static StatusOr<TcpListener> Listen(uint16_t port);
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+  /// Accept one pending connection (fd is left in blocking mode; callers
+  /// that poll set O_NONBLOCK themselves via SetNonBlocking).
+  StatusOr<int> Accept();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Blocking connect to host:port (host is a dotted-quad, normally
+/// 127.0.0.1). Returns the connected fd.
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// Put `fd` into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Write exactly `len` bytes (retrying short writes and EINTR).
+Status WriteAll(int fd, const void* data, size_t len);
+
+/// Read exactly `len` bytes. A clean EOF before any byte is
+/// FailedPrecondition("connection closed"); EOF mid-buffer is an error.
+Status ReadAll(int fd, void* data, size_t len);
+
+/// Close, ignoring errors (shutdown paths).
+void CloseFd(int fd);
+
+}  // namespace cmldft::util

@@ -46,7 +46,7 @@ int Usage(const char* argv0) {
       "usage: %s --store <path.campaign> [--shard i/N] [--preset NAME]\n"
       "          [--resume] [--overwrite] [--threads N] [--fsync-batch N]\n"
       "          [--batch K] [--telemetry <path.json>]\n"
-      "          [--abort-after-bytes N]\n"
+      "          [--abort-after-bytes N] [--progress]\n"
       "presets: coverage_comparison (default), quick, pattern_coverage, "
       "pattern_quick, characterization, characterization_quick\n",
       argv0);
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   bool resume = false;
   bool overwrite = false;
+  bool progress = false;
   int threads = 0;
   int batch = 1;
   int fsync_batch = 8;
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--overwrite") {
       overwrite = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--threads") {
       threads = std::atoi(next("--threads"));
     } else if (arg == "--batch") {
@@ -146,6 +149,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.fsync_batch = fsync_batch;
     opt.abort_at_bytes = abort_at_bytes;
+    opt.progress = progress;
     stats = campaign::RunCharacterizationCampaign(opt);
   } else if (campaign::IsPatternPreset(preset)) {
     campaign::PatternCampaignOptions opt;
@@ -160,6 +164,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.fsync_batch = fsync_batch;
     opt.abort_at_bytes = abort_at_bytes;
+    opt.progress = progress;
     stats = campaign::RunPatternCampaign(opt);
   } else {
     campaign::CampaignOptions opt;
@@ -175,6 +180,7 @@ int main(int argc, char** argv) {
     opt.store_path = store_path;
     opt.fsync_batch = fsync_batch;
     opt.abort_at_bytes = abort_at_bytes;
+    opt.progress = progress;
     stats = campaign::RunScreeningCampaign(opt);
   }
   if (!stats.ok()) {
