@@ -290,6 +290,32 @@ void BM_TransientFastPath(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientFastPath)->Arg(0)->Arg(1)->Arg(2);
 
+// Hierarchical bordered-block-diagonal solver (sim/hier.h) on clocked
+// buffer chains of growing cell count. Arg = chain length; a short
+// transient window keeps the 1024-cell point tractable while still
+// exercising the factor-share cache across timepoints. Flat-vs-hier
+// equivalence is gated in tests/equivalence_test.cc; this benchmark
+// tracks throughput only (items = accepted steps).
+void BM_HierTransient(benchmark::State& state) {
+  netlist::Netlist nl;
+  cml::CmlTechnology tech;
+  cml::CellBuilder cells(nl, tech);
+  const cml::DiffPort in = cells.AddDifferentialClock("in", 500e6);
+  cells.AddBufferChain("x", in, static_cast<int>(state.range(0)));
+  sim::TransientOptions opts;
+  opts.tstop = 2e-9;
+  opts.dc.newton.hierarchical = true;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    auto r = sim::RunTransient(nl, opts);
+    if (!r.ok()) state.SkipWithError("transient failed");
+    steps += r->stats().accepted_steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_HierTransient)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DcSolverComparison(benchmark::State& state) {
   // 32-buffer chain (133 unknowns) with the solver forced each way.
   netlist::Netlist nl;

@@ -90,7 +90,19 @@ void CellBuilder::AddOutputLoad(const std::string& cell,
   }
 }
 
+void CellBuilder::RegisterCell(const std::string& name, const std::string& type,
+                               int first_device) {
+  netlist::CellInstance cell;
+  cell.name = name;
+  cell.type = type;
+  for (int i = first_device; i < netlist_->num_devices(); ++i) {
+    cell.devices.push_back(netlist_->device(i).name());
+  }
+  netlist_->AddCellInstance(std::move(cell));
+}
+
 DiffPort CellBuilder::AddBuffer(const std::string& name, const DiffPort& in) {
+  const int mark = netlist_->num_devices();
   DiffPort out = PortOf(name + ".op", name + ".opb");
   const NodeId e = Node(name + ".e");
   // Q1 on the true input pulls the complement output low when in = 1.
@@ -99,11 +111,13 @@ DiffPort CellBuilder::AddBuffer(const std::string& name, const DiffPort& in) {
   AddOutputLoad(name, "rc1", out.n);
   AddOutputLoad(name, "rc2", out.p);
   AddTailSource(name, e);
+  RegisterCell(name, "buffer", mark);
   return out;
 }
 
 DiffPort CellBuilder::AddLevelShifter(const std::string& name,
                                       const DiffPort& in) {
+  const int mark = netlist_->num_devices();
   DiffPort out = PortOf(name + ".op", name + ".opb");
   netlist_->AddDevice(std::make_unique<Bjt>(name + ".q1", vgnd_, in.p, out.p, tech_.npn));
   netlist_->AddDevice(std::make_unique<Bjt>(name + ".q2", vgnd_, in.n, out.n, tech_.npn));
@@ -111,6 +125,7 @@ DiffPort CellBuilder::AddLevelShifter(const std::string& name,
       name + ".r1", out.p, netlist::kGroundNode, tech_.level_shift_pulldown));
   netlist_->AddDevice(std::make_unique<Resistor>(
       name + ".r2", out.n, netlist::kGroundNode, tech_.level_shift_pulldown));
+  RegisterCell(name, "levelshifter", mark);
   return out;
 }
 
@@ -118,6 +133,7 @@ DiffPort CellBuilder::AddAnd2(const std::string& name, const DiffPort& a,
                               const DiffPort& b) {
   // Series gating: top pair steered by a, bottom pair by level-shifted b.
   const DiffPort bls = AddLevelShifter(name + ".ls", b);
+  const int mark = netlist_->num_devices();  // the shifter is its own cell
   DiffPort out = PortOf(name + ".op", name + ".opb");
   const NodeId e1 = Node(name + ".e1");
   const NodeId e0 = Node(name + ".e0");
@@ -129,6 +145,7 @@ DiffPort CellBuilder::AddAnd2(const std::string& name, const DiffPort& a,
   AddOutputLoad(name, "rc1", out.n);
   AddOutputLoad(name, "rc2", out.p);
   AddTailSource(name, e0);
+  RegisterCell(name, "and2", mark);
   return out;
 }
 
@@ -145,6 +162,7 @@ DiffPort CellBuilder::AddOr2(const std::string& name, const DiffPort& a,
 DiffPort CellBuilder::AddXor2(const std::string& name, const DiffPort& a,
                               const DiffPort& b) {
   const DiffPort bls = AddLevelShifter(name + ".ls", b);
+  const int mark = netlist_->num_devices();
   DiffPort out = PortOf(name + ".op", name + ".opb");
   const NodeId e1 = Node(name + ".e1");  // selected when b = 1
   const NodeId e2 = Node(name + ".e2");  // selected when b = 0
@@ -160,12 +178,14 @@ DiffPort CellBuilder::AddXor2(const std::string& name, const DiffPort& a,
   AddOutputLoad(name, "rc1", out.n);
   AddOutputLoad(name, "rc2", out.p);
   AddTailSource(name, e0);
+  RegisterCell(name, "xor2", mark);
   return out;
 }
 
 DiffPort CellBuilder::AddMux2(const std::string& name, const DiffPort& a,
                               const DiffPort& b, const DiffPort& sel) {
   const DiffPort sls = AddLevelShifter(name + ".ls", sel);
+  const int mark = netlist_->num_devices();
   DiffPort out = PortOf(name + ".op", name + ".opb");
   const NodeId e1 = Node(name + ".e1");  // sel = 1: pass a
   const NodeId e2 = Node(name + ".e2");  // sel = 0: pass b
@@ -179,12 +199,14 @@ DiffPort CellBuilder::AddMux2(const std::string& name, const DiffPort& a,
   AddOutputLoad(name, "rc1", out.n);
   AddOutputLoad(name, "rc2", out.p);
   AddTailSource(name, e0);
+  RegisterCell(name, "mux2", mark);
   return out;
 }
 
 DiffPort CellBuilder::AddLatch(const std::string& name, const DiffPort& d,
                                const DiffPort& clk) {
   const DiffPort cls = AddLevelShifter(name + ".ls", clk);
+  const int mark = netlist_->num_devices();
   DiffPort out = PortOf(name + ".op", name + ".opb");
   const NodeId e1 = Node(name + ".e1");  // clk = 1: track d
   const NodeId e2 = Node(name + ".e2");  // clk = 0: regenerate
@@ -201,6 +223,7 @@ DiffPort CellBuilder::AddLatch(const std::string& name, const DiffPort& d,
   AddOutputLoad(name, "rc1", out.n);
   AddOutputLoad(name, "rc2", out.p);
   AddTailSource(name, e0);
+  RegisterCell(name, "latch", mark);
   return out;
 }
 
@@ -224,6 +247,18 @@ std::vector<DiffPort> CellBuilder::AddBufferChain(
         names.empty() ? util::StrPrintf("%s%d", prefix.c_str(), i) : names[static_cast<size_t>(i)];
     cur = AddBuffer(cell, cur);
     outs.push_back(cur);
+  }
+  return outs;
+}
+
+std::vector<DiffPort> CellBuilder::AddBufferTree(const std::string& prefix,
+                                                 const DiffPort& in, int n) {
+  assert(n > 0);
+  std::vector<DiffPort> outs;
+  outs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const DiffPort& drive = i == 0 ? in : outs[static_cast<size_t>((i - 1) / 2)];
+    outs.push_back(AddBuffer(util::StrPrintf("%s%d", prefix.c_str(), i), drive));
   }
   return outs;
 }

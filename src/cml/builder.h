@@ -77,6 +77,13 @@ class CellBuilder {
                                        const DiffPort& in, int n,
                                        const std::vector<std::string>& names = {});
 
+  /// Balanced binary tree of `n` buffers fanning out from `in` (a clock /
+  /// load-sharing distribution testbench): buffer i ("<prefix><i>", BFS
+  /// order) is driven by buffer (i-1)/2, buffer 0 by `in`. Returns the
+  /// output port of every buffer, index = BFS position.
+  std::vector<DiffPort> AddBufferTree(const std::string& prefix,
+                                      const DiffPort& in, int n);
+
   /// Make a DiffPort from two existing node names (for parsed netlists).
   DiffPort PortOf(const std::string& p_name, const std::string& n_name);
 
@@ -87,6 +94,10 @@ class CellBuilder {
   /// Collector load resistor + wire capacitance on an output node.
   void AddOutputLoad(const std::string& cell, const std::string& res_name,
                      netlist::NodeId out);
+  /// Register devices [first_device, num_devices()) as one `type` cell
+  /// instance named `name` (hierarchy metadata for sim/hier.h).
+  void RegisterCell(const std::string& name, const std::string& type,
+                    int first_device);
 
   netlist::Netlist* netlist_;
   CmlTechnology tech_;

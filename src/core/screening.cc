@@ -214,6 +214,8 @@ util::StatusOr<ScreeningReport> ScreenBufferChain(
     topts.dc.newton.bypass = true;
     topts.dc.newton.jacobian_reuse = true;
   }
+  topts.dc.newton.hierarchical = options.hierarchical;
+  topts.dc.newton.hier_share_quantum = options.hier_share_quantum;
   const double t0 = options.sim_time * 0.5;
   const double t1 = options.sim_time;
 

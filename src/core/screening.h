@@ -87,6 +87,16 @@ struct ScreeningOptions {
   /// 1 rather than on so golden waveforms and campaign stores stay
   /// byte-stable; deterministic for any thread count at any K.
   int batch = 1;
+  /// Hierarchical bordered-block-diagonal solver for the per-defect
+  /// simulations (sim/hier.h, docs/performance.md "Layer 6"). Solutions
+  /// are tolerance-equivalent to the flat path, like fast_newton — default
+  /// off so golden waveforms stay byte-stable. The batched engine (batch >
+  /// 1) keeps its own shared flat loop; this flag governs the scalar
+  /// per-defect path and the fault-free reference.
+  bool hierarchical = false;
+  /// Factor-share quantization quantum for the hierarchical solver
+  /// (NewtonOptions::hier_share_quantum). 0 = exact byte matching.
+  double hier_share_quantum = 0.0;
 };
 
 struct DefectOutcome {

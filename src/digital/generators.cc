@@ -178,4 +178,32 @@ GateNetlist MakeRandomFsm(int state_bits, uint32_t seed) {
   return nl;
 }
 
+GateNetlist MakeBufferChain(int n) {
+  assert(n >= 1);
+  GateNetlist nl;
+  SignalId prev = nl.AddInput("din");
+  for (int i = 0; i < n; ++i) {
+    prev = nl.AddGate(GateType::kBuf, util::StrPrintf("b%d", i), {prev});
+  }
+  nl.MarkOutput(prev);
+  return nl;
+}
+
+GateNetlist MakeBufferTree(int n) {
+  assert(n >= 1);
+  GateNetlist nl;
+  const SignalId din = nl.AddInput("din");
+  std::vector<SignalId> b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const SignalId drive = i == 0 ? din : b[static_cast<size_t>((i - 1) / 2)];
+    b[static_cast<size_t>(i)] =
+        nl.AddGate(GateType::kBuf, util::StrPrintf("b%d", i), {drive});
+  }
+  // Leaves: buffers with no children in the implicit heap ordering.
+  for (int i = 0; i < n; ++i) {
+    if (2 * i + 1 >= n) nl.MarkOutput(b[static_cast<size_t>(i)]);
+  }
+  return nl;
+}
+
 }  // namespace cmldft::digital

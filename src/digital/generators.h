@@ -40,4 +40,15 @@ GateNetlist MakeJohnsonCounter(int stages);
 /// and AND-reduce outputs over the state bits.
 GateNetlist MakeRandomFsm(int state_bits, uint32_t seed = 0xF5A1u);
 
+/// `n` buffers in series from a single input `din`; the last buffer is
+/// the output. Pure combinational repetition — the gate-level twin of the
+/// analog cml::CellBuilder::AddBufferChain, sized for the hierarchical
+/// solver benchmarks (docs/performance.md "Layer 6").
+GateNetlist MakeBufferChain(int n);
+
+/// `n` buffers in a balanced binary fanout tree: buffer 0 is driven by
+/// `din`, buffer i by buffer (i-1)/2 (same shape as
+/// cml::CellBuilder::AddBufferTree). Every leaf buffer is an output.
+GateNetlist MakeBufferTree(int n);
+
 }  // namespace cmldft::digital

@@ -17,6 +17,7 @@ Netlist::Netlist(const Netlist& other)
     : node_names_(other.node_names_),
       node_index_(other.node_index_),
       device_index_(other.device_index_),
+      cell_instances_(other.cell_instances_),
       unique_counter_(other.unique_counter_) {
   devices_.reserve(other.devices_.size());
   for (const auto& d : other.devices_) devices_.push_back(d->Clone());
@@ -97,6 +98,11 @@ util::Status Netlist::RemoveDevice(const std::string& name) {
     devices_[i]->set_ordinal(static_cast<int>(i));
   }
   return util::Status::Ok();
+}
+
+void Netlist::AddCellInstance(CellInstance instance) {
+  if (instance.devices.empty()) return;
+  cell_instances_.push_back(std::move(instance));
 }
 
 std::vector<std::string> Netlist::DevicesOnNode(NodeId node) const {

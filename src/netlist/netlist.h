@@ -12,6 +12,21 @@
 
 namespace cmldft::netlist {
 
+/// Annotation of a group of devices forming one instance of a repeated
+/// cell (a CML buffer, gate, level shifter, ...). Purely advisory: the
+/// flat netlist and every flat solver ignore it, but the hierarchical
+/// bordered-block-diagonal solver (sim/hier.h) uses the grouping to
+/// partition MNA unknowns into per-cell internal blocks plus a shared
+/// interconnect border. Devices are referenced *by name* so the
+/// annotation survives defect injection (RemoveDevice reindexes
+/// ordinals; names of surviving devices stay stable) — consumers skip
+/// names that no longer resolve.
+struct CellInstance {
+  std::string name;                  ///< instance name, e.g. "x1"
+  std::string type;                  ///< cell type id, e.g. "buffer"
+  std::vector<std::string> devices;  ///< member device names
+};
+
 /// A flat netlist. Node 0 is always ground (named "0", alias "gnd").
 /// Devices are owned; order is stable (insertion order), which keeps MNA
 /// unknown numbering and results deterministic.
@@ -58,6 +73,15 @@ class Netlist {
   /// All device names connected to `node` (for defect enumeration reports).
   std::vector<std::string> DevicesOnNode(NodeId node) const;
 
+  // --- cell instances ----------------------------------------------------
+  /// Record that a named group of devices forms one instance of a
+  /// repeated cell type. Advisory metadata (see CellInstance); instances
+  /// with an empty device list are ignored.
+  void AddCellInstance(CellInstance instance);
+  const std::vector<CellInstance>& cell_instances() const {
+    return cell_instances_;
+  }
+
   /// Human-readable summary (node & device counts, per-kind histogram).
   std::string Summary() const;
 
@@ -66,6 +90,7 @@ class Netlist {
   std::unordered_map<std::string, NodeId> node_index_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, size_t> device_index_;
+  std::vector<CellInstance> cell_instances_;
   int unique_counter_ = 0;
 };
 

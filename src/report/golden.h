@@ -12,6 +12,9 @@ namespace cmldft::report {
 
 struct GoldenDiff {
   std::vector<std::string> mismatches;  ///< one human-readable line each
+  /// Non-failing observations worth surfacing (e.g. a known-benign
+  /// provenance flavour); printed by Summary() but never affect ok().
+  std::vector<std::string> notes;
   int values_compared = 0;
   bool ok() const { return mismatches.empty(); }
   std::string Summary() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "sim/hier.h"
 #include "util/telemetry.h"
 
 namespace cmldft::sim {
@@ -55,6 +56,17 @@ MnaSystem::MnaSystem(const netlist::Netlist& netlist) : netlist_(&netlist) {
   rhs_.assign(static_cast<size_t>(num_unknowns_), 0.0);
   prev_states_.assign(static_cast<size_t>(num_states_), 0.0);
   curr_states_.assign(static_cast<size_t>(num_states_), 0.0);
+}
+
+MnaSystem::~MnaSystem() = default;
+
+HierSolver* MnaSystem::GetHierSolver() {
+  if (!hier_checked_) {
+    hier_checked_ = true;
+    auto solver = std::make_unique<HierSolver>(this);
+    if (solver->usable()) hier_ = std::move(solver);
+  }
+  return hier_.get();
 }
 
 const MnaSystem::DeviceSlots& MnaSystem::SlotsOf(const Device& dev) const {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -26,6 +27,8 @@
 
 namespace cmldft::sim {
 
+class HierSolver;
+
 /// Owns the unknown numbering for a netlist (node voltages first, then
 /// branch currents), the assembled Jacobian/RHS, and the integrator state
 /// vectors. One MnaSystem is reused across all Newton iterations and
@@ -33,6 +36,7 @@ namespace cmldft::sim {
 class MnaSystem : public netlist::StampContext {
  public:
   explicit MnaSystem(const netlist::Netlist& netlist);
+  ~MnaSystem();  // out-of-line: hier_ is incomplete here
 
   // The compiled stamp plan caches raw pointers into this object's own
   // Jacobian storage; copying would alias them onto the source.
@@ -191,7 +195,14 @@ class MnaSystem : public netlist::StampContext {
   double PrevState(const netlist::Device& dev, int slot) const override;
   void SetState(const netlist::Device& dev, int slot, double value) override;
 
+  /// Lazily built hierarchical bordered-block-diagonal solver over the
+  /// netlist's cell-instance annotations (sim/hier.h); nullptr when the
+  /// netlist carries none worth eliminating. The Newton loop consults
+  /// this only when NewtonOptions::hierarchical is set.
+  HierSolver* GetHierSolver();
+
  private:
+  friend class HierSolver;  // reads slots_/prev_states_/curr_states_
   struct DeviceSlots {
     int branch_offset = -1;  // first branch unknown (absolute index)
     int state_offset = -1;   // first state slot
@@ -249,6 +260,8 @@ class MnaSystem : public netlist::StampContext {
   void StampRhs(int r, double v);
 
   const netlist::Netlist* netlist_;
+  std::unique_ptr<HierSolver> hier_;
+  bool hier_checked_ = false;
   std::vector<DeviceSlots> slots_;  // indexed by Device::ordinal()
   int num_devices_ = 0;
   int num_node_unknowns_ = 0;

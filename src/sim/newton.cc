@@ -6,6 +6,7 @@
 
 #include "linalg/lu.h"
 #include "linalg/sparse.h"
+#include "sim/hier.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/telemetry.h"
@@ -47,11 +48,19 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
   const NewtonMetrics& metrics = Metrics();
   metrics.solves.Increment();
   linalg::Vector x = initial_guess;
+  // Hierarchical path (opt-in): the bordered-block-diagonal solver
+  // replaces assembly + factorization + solve wholesale; it ignores
+  // bypass/jacobian_reuse (its factor-share cache plays the analogous
+  // role) and falls through to the flat path when the netlist carries no
+  // usable cell annotations.
+  HierSolver* hier = opts.hierarchical ? mna.GetHierSolver() : nullptr;
   const bool use_sparse =
       opts.solver == NewtonOptions::Solver::kSparse ||
       (opts.solver == NewtonOptions::Solver::kAuto && n > 256);
-  mna.set_sparse(use_sparse);
-  mna.set_bypass(opts.bypass, opts.bypass_reltol, opts.bypass_abstol);
+  if (hier == nullptr) {
+    mna.set_sparse(use_sparse);
+    mna.set_bypass(opts.bypass, opts.bypass_reltol, opts.bypass_abstol);
+  }
   linalg::LuFactorization lu;
   // The sparse solver lives in the MnaSystem so its symbolic factorization
   // and pivot order are reused across iterations and timepoints; Refactor
@@ -71,64 +80,78 @@ util::StatusOr<NewtonResult> SolveNewton(MnaSystem& mna,
   // Economics gate (see NewtonOptions::jacobian_reuse_min_unknowns): only
   // dense systems large enough that a factorization dwarfs the reuse
   // attempt are worth trying.
-  const bool reuse_eligible = opts.jacobian_reuse && !use_sparse &&
+  const bool reuse_eligible = hier == nullptr && opts.jacobian_reuse &&
+                              !use_sparse &&
                               n >= opts.jacobian_reuse_min_unknowns;
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     metrics.iterations.Increment();
     mna.set_first_iteration(iter == 0);
-    mna.Assemble(x);
 
     linalg::Vector x_new;
     bool fresh_needed = true;
-    if (reuse_eligible && have_factors) {
-      linalg::Vector residual = mna.MultiplyJacobian(x);
-      const linalg::Vector& rhs = mna.rhs();
-      for (int i = 0; i < n; ++i) residual[static_cast<size_t>(i)] -= rhs[static_cast<size_t>(i)];
-      auto solved = use_sparse ? sparse_lu.Solve(residual) : lu.Solve(residual);
-      if (!solved.ok()) return solved.status();
-      double step_norm = 0.0;
-      for (int i = 0; i < n; ++i) {
-        step_norm = std::max(step_norm, std::fabs(solved.value()[static_cast<size_t>(i)]));
-      }
-      if (step_norm <= opts.jacobian_reuse_rate * last_step_norm) {
-        // A stale step small enough to declare convergence is discarded:
-        // convergence must be ratified by fresh factors (the quadratic
-        // fresh step lands where exact Newton converges), and rejecting it
-        // here costs one refactor instead of a whole extra iteration.
-        bool would_converge = true;
-        for (int i = 0; i < n && would_converge; ++i) {
-          const double delta = solved.value()[static_cast<size_t>(i)];
-          const double tol =
-              (i < n_nodes ? opts.abstol_v : opts.abstol_i) +
-              opts.reltol * std::fabs(x[static_cast<size_t>(i)] - delta);
-          if (std::fabs(delta) > tol) would_converge = false;
-        }
-        if (!would_converge) {
-          x_new = x;
-          for (int i = 0; i < n; ++i) {
-            x_new[static_cast<size_t>(i)] -=
-                solved.value()[static_cast<size_t>(i)];
-          }
-          fresh_needed = false;
-          metrics.jacobian_reuses.Increment();
-        }
-      }
-      // else: contraction stalled — fall through and refactor the Jacobian
-      // that is already assembled for this iterate.
-    }
-    if (fresh_needed) {
-      util::Status st = use_sparse ? sparse_lu.Refactor(mna.sparse_jacobian())
-                                   : lu.Factor(mna.jacobian());
+    if (hier != nullptr) {
+      // The hierarchical solve replaces assembly + factor + solve in one
+      // call and its solution plays the fresh-factor role in the shared
+      // damping/convergence logic below.
+      util::Status st = hier->AssembleAndSolve(x, &x_new, opts);
       if (!st.ok()) {
         metrics.singular_failures.Increment();
-        return util::Status::SingularMatrix(util::StrPrintf(
-            "newton iter %d: %s", iter, st.message().c_str()));
+        return util::Status(st.code(), util::StrPrintf("newton iter %d: %s",
+                                                       iter,
+                                                       st.message().c_str()));
       }
-      auto solved = use_sparse ? sparse_lu.Solve(mna.rhs()) : lu.Solve(mna.rhs());
-      if (!solved.ok()) return solved.status();
-      x_new = std::move(solved.value());
-      have_factors = true;
+    } else {
+      mna.Assemble(x);
+      if (reuse_eligible && have_factors) {
+        linalg::Vector residual = mna.MultiplyJacobian(x);
+        const linalg::Vector& rhs = mna.rhs();
+        for (int i = 0; i < n; ++i) residual[static_cast<size_t>(i)] -= rhs[static_cast<size_t>(i)];
+        auto solved = use_sparse ? sparse_lu.Solve(residual) : lu.Solve(residual);
+        if (!solved.ok()) return solved.status();
+        double step_norm = 0.0;
+        for (int i = 0; i < n; ++i) {
+          step_norm = std::max(step_norm, std::fabs(solved.value()[static_cast<size_t>(i)]));
+        }
+        if (step_norm <= opts.jacobian_reuse_rate * last_step_norm) {
+          // A stale step small enough to declare convergence is discarded:
+          // convergence must be ratified by fresh factors (the quadratic
+          // fresh step lands where exact Newton converges), and rejecting it
+          // here costs one refactor instead of a whole extra iteration.
+          bool would_converge = true;
+          for (int i = 0; i < n && would_converge; ++i) {
+            const double delta = solved.value()[static_cast<size_t>(i)];
+            const double tol =
+                (i < n_nodes ? opts.abstol_v : opts.abstol_i) +
+                opts.reltol * std::fabs(x[static_cast<size_t>(i)] - delta);
+            if (std::fabs(delta) > tol) would_converge = false;
+          }
+          if (!would_converge) {
+            x_new = x;
+            for (int i = 0; i < n; ++i) {
+              x_new[static_cast<size_t>(i)] -=
+                  solved.value()[static_cast<size_t>(i)];
+            }
+            fresh_needed = false;
+            metrics.jacobian_reuses.Increment();
+          }
+        }
+        // else: contraction stalled — fall through and refactor the Jacobian
+        // that is already assembled for this iterate.
+      }
+      if (fresh_needed) {
+        util::Status st = use_sparse ? sparse_lu.Refactor(mna.sparse_jacobian())
+                                     : lu.Factor(mna.jacobian());
+        if (!st.ok()) {
+          metrics.singular_failures.Increment();
+          return util::Status::SingularMatrix(util::StrPrintf(
+              "newton iter %d: %s", iter, st.message().c_str()));
+        }
+        auto solved = use_sparse ? sparse_lu.Solve(mna.rhs()) : lu.Solve(mna.rhs());
+        if (!solved.ok()) return solved.status();
+        x_new = std::move(solved.value());
+        have_factors = true;
+      }
     }
 
     // Clamp node-voltage updates (global damping); find convergence metric.

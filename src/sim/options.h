@@ -63,6 +63,29 @@ struct NewtonOptions {
   /// already costs about one triangular solve — the attempt cannot pay for
   /// itself. Tests lower this to exercise reuse on small circuits.
   int jacobian_reuse_min_unknowns = 64;
+
+  // --- hierarchical solver (opt-in; see docs/performance.md Layer 6) -----
+  /// Bordered-block-diagonal elimination over the netlist's cell-instance
+  /// annotations (sim/hier.h): per-cell internal blocks are factored and
+  /// Schur-eliminated into a small interconnect border, in parallel, with
+  /// factorizations shared across same-type cells whose blocks agree.
+  /// Same linear system as the flat solve in a different elimination
+  /// order, so solutions are tolerance-equivalent (gated like dense ==
+  /// sparse). Falls back to the flat path when the netlist carries no
+  /// usable cell annotations. Ignores bypass/jacobian_reuse; default off.
+  bool hierarchical = false;
+  /// Factor-share quantum [relative units of the block entries]. 0 (the
+  /// default) shares a factorization only between cells whose internal
+  /// blocks agree bit for bit — mathematically exact. > 0 additionally
+  /// shares across cells whose entries agree after quantization by this
+  /// step, trading a bounded companion-model perturbation for more
+  /// sharing (documented in docs/performance.md; keep 0 when golden
+  /// waveform stability matters).
+  double hier_share_quantum = 0.0;
+  /// Worker threads for the per-cell assembly/factor phases: 0 = auto
+  /// (CMLDFT_THREADS or hardware concurrency), 1 = serial. Results are
+  /// bit-identical for any thread count.
+  int hier_threads = 0;
 };
 
 /// DC operating-point controls (Newton + homotopy fallbacks).

@@ -53,9 +53,16 @@ util::StatusOr<GateNetlist> MakeSweepBenchmark(std::string_view name) {
   if (int n = SizeOf(name, "scrambler"); n >= 3 && n <= 1024) {
     return digital::MakeScrambler(n);
   }
+  if (int n = SizeOf(name, "chain"); n >= 1 && n <= 1024) {
+    return digital::MakeBufferChain(n);
+  }
+  if (int n = SizeOf(name, "tree"); n >= 1 && n <= 1024) {
+    return digital::MakeBufferTree(n);
+  }
   return util::Status::InvalidArgument(
       "unknown sweep benchmark '" + std::string(name) +
-      "' (families: counterN, shiftN, johnsonN, fsmN, scramblerN)");
+      "' (families: counterN, shiftN, johnsonN, fsmN, scramblerN, chainN, "
+      "treeN)");
 }
 
 util::StatusOr<SweepUnitResult> EvaluateSweepUnit(

@@ -12,11 +12,13 @@
 #include <functional>
 #include <vector>
 
+#include "cml/builder.h"
 #include "cml/variation.h"
 #include "core/screening.h"
 #include "digital/faultsim.h"
 #include "digital/generators.h"
 #include "digital/patterns.h"
+#include "sim/dc.h"
 #include "util/rng.h"
 #include "util/telemetry.h"
 
@@ -79,6 +81,70 @@ TEST(ScreeningDeterminism, FastNewtonWarmStartThreadInvariant) {
   core::ScreeningOptions serial_opt = SmallScreening();
   serial_opt.fast_newton = true;
   serial_opt.warm_start = true;
+  serial_opt.threads = 1;
+  core::ScreeningOptions parallel_opt = serial_opt;
+  parallel_opt.threads = 4;
+
+  auto serial = core::ScreenBufferChain(serial_opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = core::ScreenBufferChain(parallel_opt);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_GT(serial->total(), 0);
+  ASSERT_EQ(serial->total(), parallel->total());
+  for (int i = 0; i < serial->total(); ++i) {
+    const core::DefectOutcome& a = serial->outcomes[static_cast<size_t>(i)];
+    const core::DefectOutcome& b = parallel->outcomes[static_cast<size_t>(i)];
+    ASSERT_EQ(a.defect.Id(), b.defect.Id());
+    EXPECT_EQ(a.Classify(), b.Classify()) << a.defect.Id();
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.logic_fail, b.logic_fail);
+    EXPECT_EQ(a.delay_fail, b.delay_fail);
+    EXPECT_EQ(a.iddq_fail, b.iddq_fail);
+    EXPECT_EQ(a.amplitude_detected, b.amplitude_detected);
+    EXPECT_EQ(a.min_detector_vout, b.min_detector_vout) << a.defect.Id();
+    EXPECT_EQ(a.max_gate_amplitude, b.max_gate_amplitude) << a.defect.Id();
+    EXPECT_EQ(a.supply_current, b.supply_current) << a.defect.Id();
+  }
+  EXPECT_EQ(serial->ConventionalCoverage(), parallel->ConventionalCoverage());
+  EXPECT_EQ(serial->CombinedCoverage(), parallel->CombinedCoverage());
+}
+
+// The hierarchical BBD solver runs its per-cell phases on a thread pool,
+// but every parallel phase writes disjoint per-cell storage and every
+// reduction is serial in cell order — so its solutions are bit-identical
+// for any worker count, not merely tolerance-equivalent.
+TEST(HierDeterminism, SolverThreadCountInvariantBitExact) {
+  auto solve = [](int hier_threads) {
+    netlist::Netlist nl;
+    cml::CmlTechnology tech;
+    cml::CellBuilder cells(nl, tech);
+    const cml::DiffPort in = cells.AddDifferentialClock("in", 500e6);
+    cells.AddBufferChain("x", in, 8);
+    sim::DcOptions opt;
+    opt.newton.hierarchical = true;
+    opt.newton.hier_threads = hier_threads;
+    auto r = sim::SolveDc(nl, opt);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->node_voltages : std::vector<double>{};
+  };
+  const std::vector<double> one = solve(1);
+  ASSERT_FALSE(one.empty());
+  for (int threads : {2, 4, 7}) {
+    const std::vector<double> many = solve(threads);
+    ASSERT_EQ(one.size(), many.size()) << "threads=" << threads;
+    for (size_t i = 0; i < one.size(); ++i) {
+      // Bit-exact, not NEAR: the reduction order is thread-independent.
+      EXPECT_EQ(one[i], many[i]) << "node " << i << " threads=" << threads;
+    }
+  }
+}
+
+// End-to-end: a hierarchical screening campaign classifies every defect
+// identically whether the defect sweep and the solver run serial or wide.
+TEST(ScreeningDeterminism, HierThreadInvariant) {
+  core::ScreeningOptions serial_opt = SmallScreening();
+  serial_opt.hierarchical = true;
   serial_opt.threads = 1;
   core::ScreeningOptions parallel_opt = serial_opt;
   parallel_opt.threads = 4;

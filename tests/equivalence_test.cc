@@ -317,6 +317,212 @@ TEST(TransientStepperProperties, PaperChainFaultFree) {
   CheckStepperAccounting(chain.nl, opts);
 }
 
+// --- hierarchical (bordered-block-diagonal) solver vs flat ----------------
+//
+// sim/hier.h eliminates each annotated CML cell's internal unknowns via a
+// Schur complement and solves only the border globally — the same linear
+// system as flat in a different elimination order, so solutions are gated
+// with the same tolerances as dense == sparse.
+
+sim::DcOptions HierDc() {
+  sim::DcOptions o;
+  o.newton.hierarchical = true;
+  return o;
+}
+
+void ExpectDcMatch(const netlist::Netlist& nl, const char* label) {
+  auto flat = sim::SolveDc(nl, sim::DcOptions());
+  auto hier = sim::SolveDc(nl, HierDc());
+  ASSERT_TRUE(flat.ok()) << label << ": " << flat.status().ToString();
+  ASSERT_TRUE(hier.ok()) << label << ": " << hier.status().ToString();
+  ASSERT_EQ(flat->node_voltages.size(), hier->node_voltages.size()) << label;
+  for (size_t i = 0; i < flat->node_voltages.size(); ++i) {
+    EXPECT_NEAR(flat->node_voltages[i], hier->node_voltages[i], 5e-6)
+        << label << " node " << i;
+  }
+}
+
+TEST(HierEquivalence, DcMatchesFlat) {
+  Chain c = MakeChain(100e6);
+  util::telemetry::Reset();
+  ExpectDcMatch(c.nl, "chain4");
+  // The hier path must actually have engaged — a silent flat fallback
+  // would make this test vacuous.
+  const util::telemetry::Snapshot snap = util::telemetry::Capture();
+  EXPECT_GT(snap.Value("sim.hier.cells"), 0u);
+}
+
+TEST(HierEquivalence, DcMatchesFlatWithDefect) {
+  // A pipe defect adds a global (non-cell) device bridging two cell
+  // internals — those unknowns must reclassify as border and still match.
+  Chain c = MakeChain(100e6);
+  defects::Defect d;
+  d.type = defects::DefectType::kTransistorPipe;
+  d.device = "x1.q3";
+  d.resistance = 2e3;
+  auto faulty = defects::WithDefect(c.nl, d);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  ExpectDcMatch(*faulty, "chain4+pipe");
+}
+
+TEST(HierEquivalence, TransientMatchesFlat) {
+  sim::TransientOptions base;
+  base.tstop = 12e-9;
+  auto run = [&](bool hier) {
+    Chain c = MakeChain(100e6);
+    sim::TransientOptions opts = base;
+    opts.dc.newton.hierarchical = hier;
+    auto r = sim::RunTransient(c.nl, opts);
+    if (!r.ok()) {
+      ADD_FAILURE() << r.status().ToString();
+      std::abort();
+    }
+    return std::make_pair(std::move(*r), c.outs.back());
+  };
+  auto [rf, out_f] = run(false);
+  auto [rh, out_h] = run(true);
+  const auto sf = waveform::MeasureSwing(rf.Voltage(out_f.p_name), 5e-9, 12e-9);
+  const auto sh = waveform::MeasureSwing(rh.Voltage(out_h.p_name), 5e-9, 12e-9);
+  EXPECT_NEAR(sf.vhigh, sh.vhigh, 2e-3);
+  EXPECT_NEAR(sf.vlow, sh.vlow, 2e-3);
+  EXPECT_NEAR(sf.swing, sh.swing, 2e-3);
+  const auto cf = waveform::Crossings(rf.Voltage(out_f.p_name), 3.175,
+                                      waveform::Edge::kRising);
+  const auto ch = waveform::Crossings(rh.Voltage(out_h.p_name), 3.175,
+                                      waveform::Edge::kRising);
+  ASSERT_FALSE(cf.empty());
+  ASSERT_EQ(cf.size(), ch.size());
+  for (size_t i = 0; i < cf.size(); ++i) {
+    EXPECT_NEAR(cf[i], ch[i], 5e-12) << "crossing " << i;
+  }
+}
+
+TEST(HierEquivalence, PaperChainTransientMatchesFlat) {
+  // The paper's Fig. 4 story — DUT pipe healed by downstream stages —
+  // must read identically through either solver.
+  auto run = [&](bool hier) {
+    bench::PaperChain chain = bench::MakePaperChain(500e6);
+    netlist::Netlist faulty = bench::WithDutPipe(chain, 2e3);
+    sim::TransientOptions opts;
+    opts.tstop = 6e-9;
+    opts.dc.newton.hierarchical = hier;
+    const std::string out = chain.outs.back().p_name;
+    return std::make_pair(bench::MustRunTransient(faulty, opts), out);
+  };
+  auto [rf, out_f] = run(false);
+  auto [rh, out_h] = run(true);
+  const auto sf = waveform::MeasureSwing(rf.Voltage(out_f), 3e-9, 6e-9);
+  const auto sh = waveform::MeasureSwing(rh.Voltage(out_h), 3e-9, 6e-9);
+  EXPECT_NEAR(sf.vhigh, sh.vhigh, 2e-3);
+  EXPECT_NEAR(sf.vlow, sh.vlow, 2e-3);
+  EXPECT_NEAR(sf.swing, sh.swing, 2e-3);
+}
+
+TEST(HierEquivalence, BenchMatrixDcMatchesFlat) {
+  // 16 bench circuits spanning every cell the builder annotates (buffer,
+  // levelshifter, and2/or2 [and2-typed], xor2, mux2, latch, dff) plus the
+  // paper chain with each defect flavour that perturbs the partition:
+  // pipes (global resistor between internals), wire opens (node split),
+  // and bridges (global resistor between cells).
+  struct BenchCase {
+    const char* name;
+    netlist::Netlist nl;
+  };
+  std::vector<BenchCase> benches;
+  auto add = [&](const char* name, auto&& build) {
+    BenchCase b;
+    b.name = name;
+    cml::CmlTechnology tech;
+    cml::CellBuilder cells(b.nl, tech);
+    build(cells);
+    benches.push_back(std::move(b));
+  };
+
+  add("buffer_chain8", [](cml::CellBuilder& c) {
+    c.AddBufferChain("x", c.AddDifferentialClock("in", 500e6), 8);
+  });
+  add("buffer_tree7", [](cml::CellBuilder& c) {
+    c.AddBufferTree("t", c.AddDifferentialClock("in", 500e6), 7);
+  });
+  add("levelshifter_pair", [](cml::CellBuilder& c) {
+    const cml::DiffPort in = c.AddDifferentialDc("in", true);
+    c.AddLevelShifter("ls1", c.AddLevelShifter("ls0", c.AddBuffer("b0", in)));
+  });
+  add("and2", [](cml::CellBuilder& c) {
+    c.AddAnd2("g", c.AddDifferentialDc("a", true),
+              c.AddDifferentialDc("b", false));
+  });
+  add("or2", [](cml::CellBuilder& c) {
+    c.AddOr2("g", c.AddDifferentialDc("a", false),
+             c.AddDifferentialDc("b", true));
+  });
+  add("xor2", [](cml::CellBuilder& c) {
+    c.AddXor2("g", c.AddDifferentialDc("a", true),
+              c.AddDifferentialDc("b", true));
+  });
+  add("mux2", [](cml::CellBuilder& c) {
+    c.AddMux2("g", c.AddDifferentialDc("a", true),
+              c.AddDifferentialDc("b", false),
+              c.AddDifferentialDc("s", true));
+  });
+  add("latch", [](cml::CellBuilder& c) {
+    c.AddLatch("g", c.AddDifferentialDc("d", true),
+               c.AddDifferentialClock("ck", 250e6));
+  });
+  add("dff", [](cml::CellBuilder& c) {
+    c.AddDff("g", c.AddDifferentialDc("d", true),
+             c.AddDifferentialClock("ck", 250e6));
+  });
+  add("mixed_logic", [](cml::CellBuilder& c) {
+    const cml::DiffPort a = c.AddDifferentialClock("a", 250e6);
+    const cml::DiffPort b = c.AddDifferentialDc("b", true);
+    const cml::DiffPort x = c.AddXor2("x", a, b);
+    const cml::DiffPort m = c.AddMux2("m", x, c.AddAnd2("n", a, b), b);
+    c.AddDff("q", m, a);
+  });
+
+  // Paper chain, fault-free and with the DUT pipe across the resistance
+  // range the detector study sweeps.
+  {
+    bench::PaperChain chain = bench::MakePaperChain(500e6);
+    benches.push_back({"paper_chain", std::move(chain.nl)});
+  }
+  for (double r : {500.0, 2e3, 8e3}) {
+    bench::PaperChain chain = bench::MakePaperChain(500e6);
+    benches.push_back(
+        {r < 1e3 ? "paper_pipe_500" : (r < 4e3 ? "paper_pipe_2k" : "paper_pipe_8k"),
+         bench::WithDutPipe(chain, r)});
+  }
+
+  // Defects that change the partition shape on the plain chain.
+  {
+    Chain c = MakeChain(100e6);
+    defects::Defect d;
+    d.type = defects::DefectType::kWireOpen;
+    d.device = "x2.q1";
+    d.terminal_a = 0;
+    auto faulty = defects::WithDefect(c.nl, d);
+    ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+    benches.push_back({"chain_wire_open", std::move(*faulty)});
+  }
+  {
+    Chain c = MakeChain(100e6);
+    defects::Defect d;
+    d.type = defects::DefectType::kBridge;
+    d.node_a = "x1.op";
+    d.node_b = "x2.op";
+    d.resistance = 1e3;
+    auto faulty = defects::WithDefect(c.nl, d);
+    ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+    benches.push_back({"chain_bridge", std::move(*faulty)});
+  }
+
+  ASSERT_EQ(benches.size(), 16u);
+  for (const BenchCase& b : benches) {
+    ExpectDcMatch(b.nl, b.name);
+  }
+}
+
 TEST(TransientStepperProperties, PaperChainWithHealedPipeDefect) {
   // The paper's central defect: a C-E pipe on the DUT whose amplitude
   // collapse is healed by the downstream stages (Fig. 4). The stepper

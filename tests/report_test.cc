@@ -295,8 +295,8 @@ Json GbenchPerf(std::initializer_list<std::pair<const char*, double>> runs,
   return j;
 }
 
-const std::vector<std::string> kGatedFamilies = {"BM_TransientFastPath",
-                                                 "BM_BatchedScreen"};
+const std::vector<std::string> kGatedFamilies = {
+    "BM_TransientFastPath", "BM_BatchedScreen", "BM_HierTransient"};
 
 TEST(Golden, BenchPerfWithinToleranceAndFasterPass) {
   const Json base = GbenchPerf({{"BM_TransientFastPath/0", 100.0},
@@ -349,6 +349,25 @@ TEST(Golden, BenchPerfProvenanceMismatchBeatsTimings) {
   const Json untagged =
       GbenchPerf({{"BM_TransientFastPath/0", 100.0}}, nullptr);
   EXPECT_FALSE(CompareGbenchPerf(untagged, base, 0.20, kGatedFamilies).ok());
+}
+
+TEST(Golden, BenchPerfDebianDebugLibraryIsLabeledNotGated) {
+  // Debian/Ubuntu ship libbenchmark-dev without NDEBUG, so the harness
+  // self-reports library_build_type "debug" even in a -O2 distro build.
+  // A matched debug-vs-debug comparison must pass (only the harness
+  // overhead shifts, not the code under test) but carry an explanatory
+  // note on each side so the flavour is visible in the summary.
+  const Json base = GbenchPerf({{"BM_HierTransient/64", 100.0}}, "debug");
+  const Json run = GbenchPerf({{"BM_HierTransient/64", 105.0}}, "debug");
+  const GoldenDiff d = CompareGbenchPerf(run, base, 0.20, kGatedFamilies);
+  EXPECT_TRUE(d.ok()) << d.Summary();
+  ASSERT_EQ(d.notes.size(), 2u);
+  EXPECT_NE(d.notes[0].find("distro-packaged"), std::string::npos);
+  EXPECT_NE(d.Summary().find("note:"), std::string::npos);
+  // Release-flavour comparisons stay note-free.
+  const Json rbase = GbenchPerf({{"BM_HierTransient/64", 100.0}}, "release");
+  const Json rrun = GbenchPerf({{"BM_HierTransient/64", 105.0}}, "release");
+  EXPECT_TRUE(CompareGbenchPerf(rrun, rbase, 0.20, kGatedFamilies).notes.empty());
 }
 
 }  // namespace

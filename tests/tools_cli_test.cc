@@ -111,6 +111,33 @@ TEST(CampaignRunCli, UsageErrors) {
   EXPECT_EQ(RunTool(bin + " --store /tmp/x.campaign --batch").exit_code, 2);
 }
 
+TEST(CampaignRunCli, HierFlagErrors) {
+  const std::string bin = CAMPAIGN_RUN_BIN;
+  // --hier-quantum must be >= 0 and needs a value.
+  auto r = RunTool(bin + " --store /tmp/x.campaign --hier-quantum -1e-6");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("--hier-quantum"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_EQ(
+      RunTool(bin + " --store /tmp/x.campaign --hier-quantum").exit_code, 2);
+  // The hierarchical solver only applies to defect-screening presets;
+  // pattern and characterization campaigns reject it loudly instead of
+  // silently running flat.
+  r = RunTool(bin +
+              " --store /tmp/x.campaign --preset pattern_quick --hier");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("screening presets"), std::string::npos)
+      << r.stderr_text;
+  EXPECT_EQ(RunTool(bin + " --store /tmp/x.campaign --preset "
+                          "characterization_quick --hier")
+                .exit_code,
+            2);
+  EXPECT_EQ(RunTool(bin + " --store /tmp/x.campaign --preset pattern_quick "
+                          "--hier-quantum 1e-9")
+                .exit_code,
+            2);
+}
+
 TEST(CampaignRunCli, ExistingStoreNeedsResumeOrOverwrite) {
   const std::string bin = CAMPAIGN_RUN_BIN;
   const std::string store =

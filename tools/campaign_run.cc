@@ -2,6 +2,7 @@
 //
 //   campaign_run --store <path.campaign> [--shard i/N] [--preset NAME]
 //                [--resume] [--overwrite] [--threads N] [--fsync-batch N]
+//                [--batch K] [--hier] [--hier-quantum Q]
 //                [--telemetry <path.json>] [--abort-after-bytes N]
 //
 // The store is an append-only, CRC-checked binary file (docs/campaign.md):
@@ -45,7 +46,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --store <path.campaign> [--shard i/N] [--preset NAME]\n"
       "          [--resume] [--overwrite] [--threads N] [--fsync-batch N]\n"
-      "          [--batch K] [--telemetry <path.json>]\n"
+      "          [--batch K] [--hier] [--hier-quantum Q]\n"
+      "          [--telemetry <path.json>]\n"
       "          [--abort-after-bytes N] [--progress]\n"
       "presets: coverage_comparison (default), quick, pattern_coverage, "
       "pattern_quick, characterization, characterization_quick\n",
@@ -65,6 +67,8 @@ int main(int argc, char** argv) {
   bool progress = false;
   int threads = 0;
   int batch = 1;
+  bool hier = false;
+  double hier_quantum = 0.0;
   int fsync_batch = 8;
   unsigned long long abort_at_bytes = 0;
 
@@ -102,6 +106,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: --batch requires a positive K\n", argv[0]);
         return 2;
       }
+    } else if (arg == "--hier") {
+      // Hierarchical bordered-block-diagonal solver (docs/performance.md
+      // "Layer 6"): per-cell elimination with factor sharing. Solutions
+      // are tolerance-equivalent to the flat path, like the fast path.
+      hier = true;
+    } else if (arg == "--hier-quantum") {
+      hier_quantum = std::atof(next("--hier-quantum"));
+      if (hier_quantum < 0.0) {
+        std::fprintf(stderr, "%s: --hier-quantum requires a value >= 0\n",
+                     argv[0]);
+        return 2;
+      }
     } else if (arg == "--fsync-batch") {
       fsync_batch = std::atoi(next("--fsync-batch"));
     } else if (arg == "--abort-after-bytes") {
@@ -136,6 +152,18 @@ int main(int argc, char** argv) {
 
   util::StatusOr<campaign::CampaignRunStats> stats =
       util::Status::Internal("unreachable");
+  // --hier only applies to defect-screening presets; reject it elsewhere so
+  // a typo'd invocation fails loudly instead of silently running flat.
+  if ((hier || hier_quantum != 0.0) &&
+      (campaign::IsCharacterizationPreset(preset) ||
+       campaign::IsPatternPreset(preset))) {
+    std::fprintf(stderr,
+                 "%s: --hier/--hier-quantum only apply to screening presets "
+                 "(preset '%s' is not one)\n",
+                 argv[0], preset.c_str());
+    return 2;
+  }
+
   if (campaign::IsCharacterizationPreset(preset)) {
     campaign::CharacterizationCampaignOptions opt;
     auto config = campaign::CharacterizationPreset(preset);
@@ -176,6 +204,8 @@ int main(int argc, char** argv) {
     opt.screening = *screening;
     opt.screening.threads = threads;
     opt.screening.batch = batch;
+    opt.screening.hierarchical = hier;
+    opt.screening.hier_share_quantum = hier_quantum;
     opt.shard = *shard;
     opt.store_path = store_path;
     opt.fsync_batch = fsync_batch;
